@@ -1,0 +1,23 @@
+"""Benchmark harness configuration.
+
+Each experiment regenerates one of the paper's tables or figures.  The
+compile-and-simulate pipeline is deterministic, so every benchmark runs a
+single round (``pedantic``); pytest-benchmark reports the pipeline time
+while the printed tables carry the paper's actual metrics.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,96 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* Section 6 combining (closed procedures wrap-and-hide vs always
+  propagate callee-saved saves upward);
+* the Fig. 1 tie-break (prefer registers already used in the call tree);
+* loop smearing (APP propagated over whole loops so wrapped regions never
+  sit inside one).
+
+Each ablation runs a slice of the benchmark suite and reports the change
+in scalar memory traffic.
+"""
+
+import pytest
+
+from conftest import once
+
+from repro.benchsuite import load_benchmarks
+from repro.pipeline import compile_program, O3_SW
+
+BENCHES = load_benchmarks()
+PROGRAMS = ["nim", "calcc", "pf", "upas"]
+
+
+def scalar_memops(name, options):
+    bench = BENCHES[name]
+    return compile_program(bench.source, options).run().scalar_memops
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+def test_ablate_section6_combining(benchmark, name):
+    base, ablated = once(
+        benchmark,
+        lambda: (
+            scalar_memops(name, O3_SW),
+            scalar_memops(name, O3_SW.with_(combine=False)),
+        ),
+    )
+    delta = 100.0 * (ablated - base) / max(1, base)
+    print(f"\n{name}: scalar memops with Section-6 combining {base}, "
+          f"without {ablated} ({delta:+.1f}%)")
+    # combining never needs to lose much; it usually wins
+    assert base <= ablated * 1.10
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+def test_ablate_subtree_tie_break(benchmark, name):
+    base, ablated = once(
+        benchmark,
+        lambda: (
+            scalar_memops(name, O3_SW),
+            scalar_memops(name, O3_SW.with_(prefer_subtree_reg=False)),
+        ),
+    )
+    delta = 100.0 * (ablated - base) / max(1, base)
+    print(f"\n{name}: scalar memops with Fig.1 tie-break {base}, "
+          f"without {ablated} ({delta:+.1f}%)")
+    assert base <= ablated * 1.15
+
+
+def test_ablate_loop_smearing(benchmark):
+    # a register region inside a hot loop: without smearing the wrapped
+    # save/restore executes once per iteration
+    # `work` is recursive, hence open: it clobbers every caller-saved
+    # register, so the loop values need callee-saved registers and the
+    # wrapped region sits inside the loop unless smearing hoists it
+    src = """
+    func work(x) {
+        if (x <= 0) { return 1; }
+        return (x + work(x - 2)) % 7;
+    }
+    func hot(n) {
+        var total = 0;
+        for (var i = 0; i < n; i = i + 1) {
+            if (i % 8 == 0) {
+                var v = i * 3;
+                total = total + work(v % 5) + work((v + 1) % 5) + v;
+            }
+        }
+        return total;
+    }
+    func main() { print hot(400); }
+    """
+
+    def measure():
+        smeared = compile_program(src, O3_SW).run(check_contracts=True)
+        raw = compile_program(
+            src, O3_SW.with_(smear_loops=False)
+        ).run(check_contracts=True)
+        assert smeared.output == raw.output
+        return smeared, raw
+
+    smeared, raw = once(benchmark, measure)
+    print(f"\nloop smearing: save/restore {smeared.save_restore_memops} "
+          f"(smeared) vs {raw.save_restore_memops} (raw placement)")
+    # smearing must prevent per-iteration save/restore blow-up
+    assert smeared.save_restore_memops <= raw.save_restore_memops

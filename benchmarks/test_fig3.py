@@ -1,0 +1,85 @@
+"""Fig. 3 -- effects of shrink-wrap depend on the path taken.
+
+The paper's scenario: two independent conditional regions use a
+callee-saved register.  Of the four equally likely paths, shrink-wrapping
+wins on one (neither region executes: no save at all vs the classic
+entry save), loses on one (both regions execute: two save/restore pairs
+vs one), and washes on the remaining two (one pair either way).
+"""
+
+import pytest
+
+from conftest import once
+
+from repro.pipeline import compile_program, O2, O2_SW
+from repro.target.isa import MemKind
+
+SRC_TEMPLATE = """
+func work(x) {{ return x + 1; }}
+func f(c1, c2) {{
+    var r = 0;
+    if (c1 > 0) {{
+        var v1 = c1 * 3;
+        r = r + work(v1) + work(v1 + 1) + v1;
+    }}
+    if (c2 > 0) {{
+        var v2 = c2 * 5;
+        r = r + work(v2) + work(v2 + 1) + v2;
+    }}
+    return r;
+}}
+func main() {{
+    print f({c1}, {c2});
+}}
+"""
+
+
+def sr_ops(stats):
+    return (
+        stats.stores.get(MemKind.SAVE, 0)
+        + stats.loads.get(MemKind.RESTORE, 0)
+        + stats.loads.get(MemKind.SAVE, 0)
+        + stats.stores.get(MemKind.RESTORE, 0)
+    )
+
+
+def measure(c1, c2):
+    src = SRC_TEMPLATE.format(c1=c1, c2=c2)
+    base_prog = compile_program(src, O2)
+    sw_prog = compile_program(src, O2_SW)
+    base = base_prog.run(check_contracts=True)
+    sw = sw_prog.run(check_contracts=True)
+    assert base.output == sw.output
+    # exclude the fixed ra traffic from the comparison (identical in both)
+    ra = 2 * base.calls
+    return sr_ops(base) - ra, sr_ops(sw) - ra
+
+
+def test_fig3_four_paths(benchmark):
+    results = once(
+        benchmark,
+        lambda: {
+            (c1, c2): measure(c1, c2)
+            for c1 in (0, 1) for c2 in (0, 1)
+        },
+    )
+    print()
+    effects = {}
+    for (c1, c2), (base_sr, sw_sr) in sorted(results.items()):
+        effect = base_sr - sw_sr  # positive = shrink-wrap saved work
+        effects[(c1, c2)] = effect
+        print(
+            f"Fig3 path (c1={c1}, c2={c2}): save/restore "
+            f"entry-exit={base_sr}, wrapped={sw_sr}, effect={effect:+d}"
+        )
+
+    # the paper's 25/25/50 split: one positive, one negative, two zero
+    assert effects[(0, 0)] > 0, "no-region path must win under shrink-wrap"
+    assert effects[(1, 1)] < 0, "both-regions path must lose"
+    assert effects[(0, 1)] == 0
+    assert effects[(1, 0)] == 0
+
+    # and the expected value over equiprobable paths is exactly neutral
+    # only if the win and the loss cancel; report it either way
+    net = sum(effects.values())
+    print(f"Fig3 net effect over the 4 equiprobable paths: {net:+d}")

@@ -1,0 +1,90 @@
+"""Fig. 4 -- where to insert saves and restores in the call graph.
+
+The paper's trade-off: procedures p and r both use register 1.  The
+save/restore may sit around p's call to q (good when the call to q is
+rare) or at r's entry/exit (good when the call to r is rare).  Without
+profile data the compiler cannot know which; the Section 6 strategy picks
+per-procedure placement from the static shape.
+
+The benchmark builds both frequency regimes and reports the save/restore
+traffic under B (-O3, propagate-always) and C (-O3+SW, Section 6
+strategy), demonstrating the frequency dependence the paper describes.
+"""
+
+from conftest import once
+
+from repro.pipeline import compile_program, O3, O3_SW
+from repro.target.isa import MemKind
+
+# regime 1: q called rarely, r called often (inside q's loop... inverted
+# below).  p holds a value across its call to q; r burns registers.
+SRC_TEMPLATE = """
+func r_proc(x) {{
+    var a = x + 1;
+    var b = x * 2;
+    var c = a + b;
+    var d = hot(a) + hot(b) + hot(c);
+    return a + b + c + d;
+}}
+func hot(v) {{ return v * 2 + 1; }}
+func q_proc(n) {{
+    var s = 0;
+    for (var i = 0; i < {r_calls}; i = i + 1) {{ s = s + r_proc(i); }}
+    return s;
+}}
+func p_proc(n) {{
+    var keep = n * 7 + 3;           // live across the call to q
+    var s = 0;
+    for (var i = 0; i < {q_calls}; i = i + 1) {{ s = s + q_proc(i); }}
+    return keep + s;
+}}
+func main() {{
+    print p_proc(5);
+}}
+"""
+
+
+def sr_ops(stats):
+    return (
+        stats.stores.get(MemKind.SAVE, 0)
+        + stats.loads.get(MemKind.RESTORE, 0)
+        + stats.loads.get(MemKind.SAVE, 0)
+        + stats.stores.get(MemKind.RESTORE, 0)
+    )
+
+
+def measure(q_calls, r_calls):
+    src = SRC_TEMPLATE.format(q_calls=q_calls, r_calls=r_calls)
+    out = {}
+    for tag, options in (("B", O3), ("C", O3_SW)):
+        stats = compile_program(src, options).run(check_contracts=True)
+        out[tag] = (sr_ops(stats), stats.cycles, tuple(stats.output))
+    assert out["B"][2] == out["C"][2]
+    return out
+
+
+def test_fig4_call_graph_placement(benchmark):
+    results = once(
+        benchmark,
+        lambda: {
+            "q rare, r hot": measure(q_calls=2, r_calls=100),
+            "q hot, r rare": measure(q_calls=100, r_calls=2),
+        },
+    )
+    print()
+    for regime, data in results.items():
+        print(
+            f"Fig4 [{regime}]: save/restore B={data['B'][0]} "
+            f"(cycles {data['B'][1]}), C={data['C'][0]} "
+            f"(cycles {data['C'][1]})"
+        )
+
+    # The frequency dependence must be visible: the relative cost of the
+    # save placement differs between the two regimes.
+    rare_r = results["q hot, r rare"]
+    hot_r = results["q rare, r hot"]
+    ratio_rare = rare_r["C"][0] / max(1, rare_r["B"][0])
+    ratio_hot = hot_r["C"][0] / max(1, hot_r["B"][0])
+    print(f"Fig4 C/B save-restore ratio: r-rare={ratio_rare:.2f}, "
+          f"r-hot={ratio_hot:.2f}")
+    assert ratio_rare != ratio_hot or rare_r["B"][0] != hot_r["B"][0]

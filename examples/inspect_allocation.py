@@ -1,0 +1,87 @@
+"""Inspect the one-pass inter-procedural allocation on a small program:
+call graph, depth-first processing order, open/closed classification,
+per-procedure register usage summaries, parameter registers, and the
+generated assembly.
+
+Run:  python examples/inspect_allocation.py
+"""
+
+from repro import compile_program, O3_SW
+from repro.target.codegen import generate_function
+from repro.target.registers import registers_in_mask
+
+SOURCE = """
+var counter = 0;
+
+func leaf(x) { return x * x + 1; }
+
+func middle(a, b) {
+    var s = leaf(a) + leaf(b);
+    counter = counter + 1;
+    return s;
+}
+
+func recurse(n) {
+    if (n == 0) { return 0; }
+    return middle(n, n - 1) + recurse(n - 1);
+}
+
+func main() {
+    print recurse(6);
+    print counter;
+}
+"""
+
+
+def regs(mask: int) -> str:
+    names = [r.name for r in registers_in_mask(mask)]
+    return "{" + ", ".join(names) + "}"
+
+
+def main() -> None:
+    prog = compile_program(SOURCE, O3_SW)
+    plan = prog.plan
+
+    print("depth-first processing order:", " -> ".join(plan.order))
+    print()
+    for name in plan.order:
+        fnplan = plan.plans[name]
+        summary = plan.summaries[name]
+        print(f"procedure {name}: {fnplan.mode}")
+        print(f"  usage summary (call subtree): {regs(summary.used_mask)}")
+        if fnplan.mode == "closed":
+            params = ", ".join(
+                f"{p}={'dead' if spec.dead else (spec.reg.name if spec.reg else 'stack')}"
+                for p, spec in zip(
+                    fnplan.alloc.fn.params, fnplan.incoming_params
+                )
+            )
+            if params:
+                print(f"  parameter registers: {params}")
+        if fnplan.entry_exit_saves:
+            print(f"  entry/exit saves: "
+                  f"{[r.name for r in fnplan.entry_exit_saves]}")
+        if fnplan.wrapped:
+            for idx, placement in fnplan.wrapped.items():
+                print(f"  shrink-wrapped $"
+                      f"{registers_in_mask(1 << idx)[0].name}: "
+                      f"saves at blocks {sorted(placement.saves)}, "
+                      f"restores at {sorted(placement.restores)}")
+        assignment = {
+            str(v): r.name for v, r in fnplan.alloc.assignment.items()
+        }
+        print(f"  assignment: {assignment}")
+        print()
+
+    print("=" * 60)
+    print("generated code for `middle` (closed procedure):")
+    print(generate_function(plan.plans["middle"], prog.ir.arrays).render())
+
+    stats = prog.run(check_contracts=True)
+    print()
+    print(f"executed: {stats.output} in {stats.cycles} cycles, "
+          f"{stats.scalar_memops} scalar memory ops")
+
+
+if __name__ == "__main__":
+    main()

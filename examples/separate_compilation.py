@@ -1,0 +1,77 @@
+"""Separate compilation vs whole-program IPRA (paper Sections 3 and 7).
+
+The same two modules are built twice:
+
+1. each module compiled alone at -O3: with unknown callers every
+   procedure is open, so IPRA degenerates to the default linkage
+   convention (the paper's incomplete-information regime);
+2. IR linked first ("linked Ucode"), then the one-pass IPRA sees the
+   whole call graph and closed procedures propagate their usage.
+
+Outputs must match; the whole-program build executes fewer scalar
+memory operations.
+
+Run:  python examples/separate_compilation.py
+"""
+
+from repro import (
+    compile_module,
+    compile_program,
+    link_modules,
+    run_program,
+    O3_SW,
+)
+
+MODULE_MATH = ("math_mod", """
+func square(x) { return x * x; }
+func cube(x) { return square(x) * x; }
+func poly(a, b, c, x) {
+    return a * square(x) + b * x + c + cube(x);
+}
+""")
+
+MODULE_MAIN = ("main_mod", """
+extern func poly(4);
+func main() {
+    var total = 0;
+    for (var i = 0; i < 300; i = i + 1) {
+        total = total + poly(2, -3, 7, i) % 1000;
+    }
+    print total;
+}
+""")
+
+
+def main() -> None:
+    # 1. separate compilation: each unit alone, then link objects
+    separately_compiled = [
+        compile_module(MODULE_MAIN, O3_SW),
+        compile_module(MODULE_MATH, O3_SW),
+    ]
+    exe = link_modules(separately_compiled)
+    sep = run_program(exe, check_contracts=True)
+
+    for cm in separately_compiled:
+        for name, plan in cm.plan.plans.items():
+            assert plan.mode == "open", "separate units have unknown callers"
+
+    # 2. whole-program: IR linked before allocation (the paper's -O3)
+    whole = compile_program([MODULE_MAIN, MODULE_MATH], O3_SW)
+    wp = whole.run(check_contracts=True)
+    assert sep.output == wp.output
+
+    closed = [n for n, p in whole.plan.plans.items() if p.mode == "closed"]
+    print(f"program output: {sep.output}")
+    print(f"closed procedures under whole-program IPRA: {closed}")
+    print()
+    print(f"{'build':<28s} {'cycles':>8s} {'scalar ld/st':>12s}")
+    print(f"{'separate compilation':<28s} {sep.cycles:>8d} "
+          f"{sep.scalar_memops:>12d}")
+    print(f"{'whole-program IPRA (+SW)':<28s} {wp.cycles:>8d} "
+          f"{wp.scalar_memops:>12d}")
+    saved = 100.0 * (sep.scalar_memops - wp.scalar_memops) / sep.scalar_memops
+    print(f"\nscalar traffic removed by whole-program allocation: {saved:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""The paper's 13-benchmark suite and the Table 1 / Table 2 harness."""
+
+from repro.benchsuite.harness import (
+    BenchResult,
+    format_table1,
+    format_table2,
+    run_benchmark,
+    run_suite,
+    TABLE1_CONFIGS,
+    TABLE2_CONFIGS,
+)
+from repro.benchsuite.registry import Benchmark, benchmark_names, load_benchmarks
+
+__all__ = [
+    "BenchResult",
+    "format_table1",
+    "format_table2",
+    "run_benchmark",
+    "run_suite",
+    "TABLE1_CONFIGS",
+    "TABLE2_CONFIGS",
+    "Benchmark",
+    "benchmark_names",
+    "load_benchmarks",
+]

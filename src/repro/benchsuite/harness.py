@@ -1,0 +1,119 @@
+"""Measurement harness regenerating the paper's Tables 1 and 2.
+
+All comparisons follow the paper: the baseline is -O2 with shrink-wrap
+disabled, and each column reports the percentage *reduction* relative to
+that baseline, in executed cycles (columns I) and in scalar loads/stores
+(columns II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.benchsuite.registry import Benchmark, load_benchmarks
+from repro.pipeline.driver import compile_program
+from repro.pipeline.options import CompilerOptions, PAPER_CONFIGS
+from repro.sim.stats import RunStats, percent_reduction
+
+TABLE1_CONFIGS = ("A", "B", "C")
+TABLE2_CONFIGS = ("D", "E")
+
+
+@dataclass
+class BenchResult:
+    """All configuration runs for one benchmark."""
+
+    benchmark: Benchmark
+    stats: Dict[str, RunStats] = field(default_factory=dict)
+
+    @property
+    def base(self) -> RunStats:
+        return self.stats["base"]
+
+    def cycles_per_call(self) -> float:
+        return self.base.cycles_per_call
+
+    def cycle_reduction(self, config: str) -> float:
+        return percent_reduction(self.base.cycles, self.stats[config].cycles)
+
+    def scalar_reduction(self, config: str) -> float:
+        return percent_reduction(
+            self.base.scalar_memops, self.stats[config].scalar_memops
+        )
+
+
+def run_benchmark(
+    benchmark: Benchmark,
+    configs: Iterable[str],
+    check_contracts: bool = False,
+    overrides: Optional[Dict[str, CompilerOptions]] = None,
+) -> BenchResult:
+    """Compile and run one benchmark under the named paper configs
+    (plus the baseline, always).  Verifies output equivalence across all
+    configurations."""
+    result = BenchResult(benchmark=benchmark)
+    wanted = ["base"] + [c for c in configs if c != "base"]
+    for config in wanted:
+        options = (overrides or {}).get(config) or PAPER_CONFIGS[config]
+        program = compile_program(benchmark.source, options)
+        result.stats[config] = program.run(check_contracts=check_contracts)
+    outputs = {tuple(s.output) for s in result.stats.values()}
+    if len(outputs) != 1:
+        raise AssertionError(
+            f"{benchmark.name}: outputs differ across configurations"
+        )
+    return result
+
+
+def run_suite(
+    configs: Iterable[str],
+    names: Optional[Iterable[str]] = None,
+    check_contracts: bool = False,
+) -> List[BenchResult]:
+    benches = load_benchmarks()
+    selected = list(names) if names is not None else list(benches)
+    return [
+        run_benchmark(benches[name], configs, check_contracts)
+        for name in selected
+    ]
+
+
+def format_table1(results: List[BenchResult]) -> str:
+    """Render Table 1: % reduction in cycles and scalar loads/stores for
+    configs A (-O2+SW), B (-O3), C (-O3+SW) vs base (-O2)."""
+    lines = [
+        "Table 1. Effects of applying the techniques "
+        "(vs -O2, shrink-wrap disabled)",
+        f"{'program':<10s} {'cyc/call':>8s} |"
+        f"{'I.A':>7s} {'I.B':>7s} {'I.C':>7s} |"
+        f"{'II.A':>7s} {'II.B':>7s} {'II.C':>7s}",
+        "-" * 66,
+    ]
+    for r in results:
+        lines.append(
+            f"{r.benchmark.name:<10s} {r.cycles_per_call():>8.0f} |"
+            f"{r.cycle_reduction('A'):>6.1f}% {r.cycle_reduction('B'):>6.1f}% "
+            f"{r.cycle_reduction('C'):>6.1f}% |"
+            f"{r.scalar_reduction('A'):>6.1f}% {r.scalar_reduction('B'):>6.1f}% "
+            f"{r.scalar_reduction('C'):>6.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_table2(results: List[BenchResult]) -> str:
+    """Render Table 2: the two register classes under IPRA with only 7
+    registers (D = caller-saved only, E = callee-saved only)."""
+    lines = [
+        "Table 2. Effects of the 2 different register classes "
+        "(7 registers, vs full-file -O2 baseline)",
+        f"{'program':<10s} |{'I.D':>8s} {'I.E':>8s} |{'II.D':>8s} {'II.E':>8s}",
+        "-" * 50,
+    ]
+    for r in results:
+        lines.append(
+            f"{r.benchmark.name:<10s} |"
+            f"{r.cycle_reduction('D'):>7.1f}% {r.cycle_reduction('E'):>7.1f}% |"
+            f"{r.scalar_reduction('D'):>7.1f}% {r.scalar_reduction('E'):>7.1f}%"
+        )
+    return "\n".join(lines)

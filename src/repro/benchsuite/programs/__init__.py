@@ -1,0 +1,7 @@
+"""The 13 benchmark programs (paper Appendix), as MiniC analogues.
+
+Each module exports a :class:`~repro.benchsuite.registry.Benchmark`.  The
+programs keep the originals' computational character and the suite keeps
+the paper's small-to-large, call-intensive ordering; absolute sizes differ
+(see DESIGN.md's substitution notes).
+"""

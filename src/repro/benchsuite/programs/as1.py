@@ -1,0 +1,216 @@
+"""as1 -- the MIPS assembler/reorganizer (paper Appendix).
+
+A two-pass assembler for a toy RISC: pass one scans generated assembly
+token streams and collects label addresses into a hashed symbol table;
+pass two encodes instructions (resolving label operands) and then a
+"reorganizer" pass fills load-delay and branch-delay slots by swapping
+independent neighbours, as the MIPS as1 did.
+"""
+
+from repro.benchsuite.registry import Benchmark
+
+SOURCE = r"""
+// Two-pass assembler + delay-slot reorganizer.
+// Instruction stream: (opcode, a, b, c) quads; labels are pseudo-ops.
+var N_INSTR = 700;
+array in_op[800];
+array in_a[800];
+array in_b[800];
+array in_c[800];
+
+var I_LABEL = 1;              // a = label id
+var I_ADD = 2;                // a,b,c regs
+var I_LOAD = 3;               // a reg <- mem(b reg)
+var I_STORE = 4;              // mem(b reg) <- a reg
+var I_BRANCH = 5;             // if a reg, goto label b
+var I_JUMP = 6;               // goto label b
+var I_NOP = 7;
+
+// hashed symbol table: label id -> address
+var HASHSZ = 512;
+array sym_key[512];
+array sym_val[512];
+var sym_probes = 0;
+
+array out_word[900];
+var out_len = 0;
+
+var seed = 57721;
+
+func rnd(limit) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return (seed / 65536) % limit;
+}
+
+func gen_input() {
+    var i;
+    var next_label = 0;
+    for (i = 0; i < N_INSTR; i = i + 1) {
+        var k = rnd(10);
+        if (k == 0 && next_label < 60) {
+            in_op[i] = I_LABEL;
+            in_a[i] = next_label;
+            next_label = next_label + 1;
+        } else { if (k <= 4) {
+            in_op[i] = I_ADD;
+            in_a[i] = rnd(16); in_b[i] = rnd(16); in_c[i] = rnd(16);
+        } else { if (k <= 6) {
+            in_op[i] = I_LOAD;
+            in_a[i] = rnd(16); in_b[i] = rnd(16);
+        } else { if (k == 7) {
+            in_op[i] = I_STORE;
+            in_a[i] = rnd(16); in_b[i] = rnd(16);
+        } else { if (k == 8 && next_label > 0) {
+            in_op[i] = I_BRANCH;
+            in_a[i] = rnd(16); in_b[i] = rnd(next_label);
+        } else {
+            in_op[i] = I_ADD;
+            in_a[i] = rnd(16); in_b[i] = rnd(16); in_c[i] = rnd(16);
+        } } } } }
+    }
+}
+
+func hash_slot(key) {
+    var h = (key * 2654435761) % HASHSZ;
+    if (h < 0) { h = h + HASHSZ; }
+    return h;
+}
+
+func sym_define(key, val) {
+    var h = hash_slot(key);
+    while (sym_key[h] != 0 && sym_key[h] != key + 1) {
+        sym_probes = sym_probes + 1;
+        h = (h + 1) % HASHSZ;
+    }
+    sym_key[h] = key + 1;
+    sym_val[h] = val;
+}
+
+func sym_lookup(key) {
+    var h = hash_slot(key);
+    while (sym_key[h] != 0) {
+        sym_probes = sym_probes + 1;
+        if (sym_key[h] == key + 1) { return sym_val[h]; }
+        h = (h + 1) % HASHSZ;
+    }
+    return -1;
+}
+
+// pass 1: assign addresses to labels (labels emit no code)
+func pass1() {
+    var addr = 0;
+    var i;
+    for (i = 0; i < N_INSTR; i = i + 1) {
+        if (in_op[i] == I_LABEL) {
+            sym_define(in_a[i], addr);
+        } else {
+            addr = addr + 1;
+        }
+    }
+    return addr;
+}
+
+func encode(op, a, b, c) {
+    return ((op * 16 + a) * 16 + b) * 4096 + (c % 4096);
+}
+
+// pass 2: emit encoded words with resolved label operands
+func pass2() {
+    var i;
+    for (i = 0; i < N_INSTR; i = i + 1) {
+        var op = in_op[i];
+        if (op == I_LABEL) { continue; }
+        var c = in_c[i];
+        if (op == I_BRANCH || op == I_JUMP) {
+            c = sym_lookup(in_b[i]);
+            if (c < 0) { c = 0; }
+        }
+        out_word[out_len] = encode(op, in_a[i] % 16, in_b[i] % 16, c);
+        out_len = out_len + 1;
+    }
+}
+
+func word_op(w) { return (w / 4096) / 256; }
+func word_a(w) { return (w / 4096) / 16 % 16; }
+func word_b(w) { return (w / 4096) % 16; }
+
+func reads_reg(w, r) {
+    var op = word_op(w);
+    if (op == I_ADD) { return word_b(w) == r || (w % 4096) % 16 == r; }
+    if (op == I_LOAD) { return word_b(w) == r; }
+    if (op == I_STORE) { return word_a(w) == r || word_b(w) == r; }
+    if (op == I_BRANCH) { return word_a(w) == r; }
+    return 0;
+}
+
+func writes_reg(w) {
+    var op = word_op(w);
+    if (op == I_ADD || op == I_LOAD) { return word_a(w); }
+    return -1;
+}
+
+func is_branchy(w) {
+    var op = word_op(w);
+    return op == I_BRANCH || op == I_JUMP;
+}
+
+// reorganizer: after each load, if the next instruction reads the loaded
+// register, try to swap in a later independent instruction (delay slot)
+func reorganize() {
+    var swaps = 0;
+    var i;
+    for (i = 0; i + 2 < out_len; i = i + 1) {
+        var w = out_word[i];
+        if (word_op(w) != I_LOAD) { continue; }
+        var dest = word_a(w);
+        var nxt = out_word[i + 1];
+        if (!reads_reg(nxt, dest) || is_branchy(nxt)) { continue; }
+        // look ahead for an independent instruction to pull in
+        var j;
+        for (j = i + 2; j < out_len && j < i + 6; j = j + 1) {
+            var cand = out_word[j];
+            if (is_branchy(cand)) { break; }
+            var cw = writes_reg(cand);
+            if (reads_reg(cand, dest)) { continue; }
+            if (cw >= 0 && (reads_reg(nxt, cw) || cw == dest)) { continue; }
+            // swap cand to position i+1, shifting the rest down
+            var k;
+            for (k = j; k > i + 1; k = k - 1) {
+                out_word[k] = out_word[k - 1];
+            }
+            out_word[i + 1] = cand;
+            swaps = swaps + 1;
+            break;
+        }
+    }
+    return swaps;
+}
+
+func checksum() {
+    var s = 0;
+    var i;
+    for (i = 0; i < out_len; i = i + 1) {
+        s = (s * 131 + out_word[i]) % 1000000007;
+    }
+    return s;
+}
+
+func main() {
+    gen_input();
+    var code_size = pass1();
+    pass2();
+    print code_size;
+    print out_len;
+    print sym_probes;
+    var swaps = reorganize();
+    print swaps;
+    print checksum();
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="as1",
+    language="Pascal/C",
+    description="the MIPS assembler/reorganizer",
+    source=SOURCE,
+)

@@ -1,0 +1,164 @@
+"""awk -- the Awk pattern processing and scanning utility (paper Appendix).
+
+Scans synthetic text lines, matches them against a small set of patterns
+(literals with ``.`` and ``*`` wildcards via recursive matching), splits
+matching lines into fields, and accumulates per-pattern actions -- the
+scan/match/act structure of awk.
+"""
+
+from repro.benchsuite.registry import Benchmark
+
+SOURCE = r"""
+// Pattern scanning and processing.
+array text[12000];             // all lines, NUL-separated
+array line_start[400];
+var nlines = 0;
+var text_len = 0;
+
+array pattern[80];             // 4 patterns x 20 chars, NUL-terminated
+array pat_hits[4];
+array pat_sum[4];
+var seed = 31415;
+
+func rnd(limit) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return (seed / 65536) % limit;
+}
+
+func put(ch) {
+    text[text_len] = ch;
+    text_len = text_len + 1;
+}
+
+func gen_word(kind) {
+    if (kind == 0) { put('c'); put('a'); put('t'); return 0; }
+    if (kind == 1) { put('c'); put('u'); put('t'); return 0; }
+    if (kind == 2) { put('d'); put('o'); put('g'); return 0; }
+    if (kind == 3) {
+        var n = 1 + rnd(3);
+        var i;
+        for (i = 0; i < n; i = i + 1) { put('0' + rnd(10)); }
+        return 0;
+    }
+    var len = 2 + rnd(5);
+    var j;
+    for (j = 0; j < len; j = j + 1) { put('a' + rnd(26)); }
+    return 0;
+}
+
+func gen_lines() {
+    var li;
+    for (li = 0; li < 220; li = li + 1) {
+        line_start[nlines] = text_len;
+        nlines = nlines + 1;
+        var words = 2 + rnd(5);
+        var w;
+        for (w = 0; w < words; w = w + 1) {
+            if (w > 0) { put(' '); }
+            gen_word(rnd(6));
+        }
+        put(0);
+    }
+}
+
+func set_pattern(p, a, b, c, d, e) {
+    var off = p * 20;
+    pattern[off] = a;
+    pattern[off + 1] = b;
+    pattern[off + 2] = c;
+    pattern[off + 3] = d;
+    pattern[off + 4] = e;
+}
+
+// recursive regex match: '.' any char, '*' zero-or-more of previous
+func match_here(poff, toff) {
+    var pc = pattern[poff];
+    if (pc == 0) { return 1; }
+    if (pattern[poff + 1] == '*') {
+        return match_star(pc, poff + 2, toff);
+    }
+    var tc = text[toff];
+    if (tc != 0 && (pc == '.' || pc == tc)) {
+        return match_here(poff + 1, toff + 1);
+    }
+    return 0;
+}
+
+func match_star(pc, poff, toff) {
+    // try zero occurrences first, then eat matching chars
+    while (1) {
+        if (match_here(poff, toff)) { return 1; }
+        var tc = text[toff];
+        if (tc == 0 || (pc != '.' && pc != tc)) { return 0; }
+        toff = toff + 1;
+    }
+    return 0;
+}
+
+func match_line(p, start) {
+    var off = start;
+    while (1) {
+        if (match_here(p * 20, off)) { return 1; }
+        if (text[off] == 0) { return 0; }
+        off = off + 1;
+    }
+    return 0;
+}
+
+func is_digit(ch) { return ch >= '0' && ch <= '9'; }
+
+// split a line into fields and sum its numeric fields
+func sum_numeric_fields(start) {
+    var off = start;
+    var total = 0;
+    while (text[off] != 0) {
+        while (text[off] == ' ') { off = off + 1; }
+        if (text[off] == 0) { break; }
+        var allnum = 1;
+        var v = 0;
+        while (text[off] != 0 && text[off] != ' ') {
+            if (is_digit(text[off])) { v = v * 10 + text[off] - '0'; }
+            else { allnum = 0; }
+            off = off + 1;
+        }
+        if (allnum) { total = total + v; }
+    }
+    return total;
+}
+
+func run_patterns() {
+    var li;
+    for (li = 0; li < nlines; li = li + 1) {
+        var start = line_start[li];
+        var p;
+        for (p = 0; p < 4; p = p + 1) {
+            if (match_line(p, start)) {
+                pat_hits[p] = pat_hits[p] + 1;
+                pat_sum[p] = pat_sum[p] + sum_numeric_fields(start);
+            }
+        }
+    }
+}
+
+func main() {
+    gen_lines();
+    set_pattern(0, 'c', '.', 't', 0, 0);      // c.t
+    set_pattern(1, 'd', 'o', 'g', 0, 0);      // dog
+    set_pattern(2, 'a', '*', 'b', 0, 0);      // a*b
+    set_pattern(3, '.', '*', '7', 0, 0);      // .*7 (any line with a 7)
+    run_patterns();
+    print nlines;
+    var p;
+    for (p = 0; p < 4; p = p + 1) {
+        print pat_hits[p];
+        print pat_sum[p];
+    }
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="awk",
+    language="C",
+    description="the Awk pattern processing and scanning utility from UNIX",
+    source=SOURCE,
+)

@@ -1,0 +1,172 @@
+"""calcc -- a program that manipulates dynamic and variable-length strings
+(paper Appendix).
+
+A string-desk-calculator: builds decimal-digit strings in a managed
+string pool, implements arbitrary-precision addition/multiplication over
+them, string reversal, concatenation and comparison -- all through small
+helper procedures, making it heavily call-intensive.
+"""
+
+from repro.benchsuite.registry import Benchmark
+
+SOURCE = r"""
+// Variable-length decimal strings in a pool, with bignum arithmetic.
+array pool[8000];            // character storage
+array str_off[200];          // string id -> offset in pool
+array str_len[200];          // string id -> length
+var pool_top = 0;
+var nstrings = 0;
+
+func new_string() {
+    var id = nstrings;
+    nstrings = nstrings + 1;
+    str_off[id] = pool_top;
+    str_len[id] = 0;
+    return id;
+}
+
+func push_char(id, ch) {
+    // only valid for the most recently created string
+    pool[str_off[id] + str_len[id]] = ch;
+    str_len[id] = str_len[id] + 1;
+    pool_top = str_off[id] + str_len[id];
+    return id;
+}
+
+func char_at(id, i) { return pool[str_off[id] + i]; }
+func length(id) { return str_len[id]; }
+
+// digits stored least-significant first
+func from_int(n) {
+    var id = new_string();
+    if (n == 0) { push_char(id, 0); return id; }
+    while (n > 0) {
+        push_char(id, n % 10);
+        n = n / 10;
+    }
+    return id;
+}
+
+func to_int(id) {
+    var v = 0;
+    var i;
+    for (i = length(id) - 1; i >= 0; i = i - 1) {
+        v = v * 10 + char_at(id, i);
+    }
+    return v;
+}
+
+func big_add(x, y) {
+    var id = new_string();
+    var carry = 0;
+    var i = 0;
+    while (i < length(x) || i < length(y) || carry > 0) {
+        var d = carry;
+        if (i < length(x)) { d = d + char_at(x, i); }
+        if (i < length(y)) { d = d + char_at(y, i); }
+        push_char(id, d % 10);
+        carry = d / 10;
+        i = i + 1;
+    }
+    return id;
+}
+
+func big_mul_digit(x, d, shift) {
+    var id = new_string();
+    var i;
+    for (i = 0; i < shift; i = i + 1) { push_char(id, 0); }
+    var carry = 0;
+    for (i = 0; i < length(x); i = i + 1) {
+        var p = char_at(x, i) * d + carry;
+        push_char(id, p % 10);
+        carry = p / 10;
+    }
+    while (carry > 0) {
+        push_char(id, carry % 10);
+        carry = carry / 10;
+    }
+    if (length(id) == 0) { push_char(id, 0); }
+    return id;
+}
+
+func big_mul(x, y) {
+    var acc = from_int(0);
+    var i;
+    for (i = 0; i < length(y); i = i + 1) {
+        var part = big_mul_digit(x, char_at(y, i), i);
+        acc = big_add(acc, part);
+    }
+    return acc;
+}
+
+func compare(x, y) {
+    if (length(x) != length(y)) {
+        if (length(x) < length(y)) { return -1; }
+        return 1;
+    }
+    var i;
+    for (i = length(x) - 1; i >= 0; i = i - 1) {
+        var a = char_at(x, i);
+        var b = char_at(y, i);
+        if (a < b) { return -1; }
+        if (a > b) { return 1; }
+    }
+    return 0;
+}
+
+func digit_sum(id) {
+    var s = 0;
+    var i;
+    for (i = 0; i < length(id); i = i + 1) { s = s + char_at(id, i); }
+    return s;
+}
+
+func reset_pool() {
+    pool_top = 0;
+    nstrings = 0;
+}
+
+func factorial_digit_sum(n) {
+    var acc = from_int(1);
+    var k;
+    for (k = 2; k <= n; k = k + 1) {
+        acc = big_mul(acc, from_int(k));
+    }
+    return digit_sum(acc);
+}
+
+func main() {
+    // 2^40 by repeated doubling, digit sum
+    var two40 = from_int(1);
+    var i;
+    for (i = 0; i < 40; i = i + 1) {
+        two40 = big_add(two40, two40);
+    }
+    print digit_sum(two40);
+    print length(two40);
+
+    reset_pool();
+    print factorial_digit_sum(20);
+
+    reset_pool();
+    // fibonacci as bignums
+    var a = from_int(0);
+    var b = from_int(1);
+    for (i = 0; i < 60; i = i + 1) {
+        var t = big_add(a, b);
+        a = b;
+        b = t;
+    }
+    print digit_sum(b);
+    print length(b);
+    print compare(a, b);
+    print to_int(from_int(987654321));
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="calcc",
+    language="Pascal",
+    description="a program that manipulates dynamic and variable-length strings",
+    source=SOURCE,
+)

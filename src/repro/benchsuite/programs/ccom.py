@@ -1,0 +1,307 @@
+"""ccom -- the first pass of the MIPS C compiler (paper Appendix).
+
+A miniature C front end: a lexer over generated source text, a recursive-
+descent parser for expressions/assignments/if/while, a symbol table, and
+code emission to a stack machine -- then the emitted code is executed by
+an interpreter loop to produce a checksum.  Tall call graph, very
+call-intensive.
+"""
+
+from repro.benchsuite.registry import Benchmark
+
+SOURCE = r"""
+// A tiny C compiler first pass + stack-machine execution.
+array src[9000];
+var src_len = 0;
+var pos = 0;                  // lexer cursor
+var tok = 0;                  // current token
+var tokval = 0;
+
+var T_NUM = 1;
+var T_ID = 2;
+var T_PLUS = 3;
+var T_MINUS = 4;
+var T_STAR = 5;
+var T_SLASH = 6;
+var T_LP = 7;
+var T_RP = 8;
+var T_ASSIGN = 9;
+var T_SEMI = 10;
+var T_IF = 11;
+var T_WHILE = 12;
+var T_LB = 13;
+var T_RB = 14;
+var T_LT = 15;
+var T_EOF = 16;
+
+// emitted code: opcode stream for a stack machine
+array code_op[4000];
+array code_arg[4000];
+var code_len = 0;
+var OP_PUSH = 1;
+var OP_LOAD = 2;
+var OP_STORE = 3;
+var OP_ADD = 4;
+var OP_SUB = 5;
+var OP_MUL = 6;
+var OP_DIV = 7;
+var OP_LT = 8;
+var OP_JZ = 9;
+var OP_JMP = 10;
+var OP_HALT = 11;
+
+array vars[26];
+var seed = 16180;
+
+func rnd(limit) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return (seed / 65536) % limit;
+}
+
+func put(ch) { src[src_len] = ch; src_len = src_len + 1; }
+
+func gen_expr(depth) {
+    if (depth > 2 || rnd(3) == 0) {
+        if (rnd(2) == 0) { put('0' + rnd(10)); }
+        else { put('a' + rnd(26)); }
+        return 0;
+    }
+    put('(');
+    gen_expr(depth + 1);
+    var op = rnd(4);
+    if (op == 0) { put('+'); }
+    if (op == 1) { put('-'); }
+    if (op == 2) { put('*'); }
+    if (op == 3) { put('/'); }
+    gen_expr(depth + 1);
+    put(')');
+    return 0;
+}
+
+func gen_stmt(depth) {
+    var kind = rnd(5);
+    if (depth > 2) { kind = 0; }
+    if (kind <= 2) {
+        put('a' + rnd(26));
+        put('=');
+        gen_expr(0);
+        put(';');
+        return 0;
+    }
+    if (kind == 3) {
+        put('i'); put('f'); put('(');
+        gen_expr(1);
+        put('<');
+        gen_expr(1);
+        put(')'); put('{');
+        gen_stmt(depth + 1);
+        gen_stmt(depth + 1);
+        put('}');
+        return 0;
+    }
+    // a bounded while: k = small; while (0 < k) { ... k = k - 1; }
+    var v = 'a' + rnd(26);
+    put(v); put('='); put('0' + 2 + rnd(3)); put(';');
+    put('w'); put('h'); put('('); put('0'); put('<'); put(v); put(')');
+    put('{');
+    gen_stmt(depth + 1);
+    put(v); put('='); put(v); put('-'); put('1'); put(';');
+    put('}');
+    return 0;
+}
+
+func next_tok() {
+    while (pos < src_len && src[pos] == ' ') { pos = pos + 1; }
+    if (pos >= src_len) { tok = T_EOF; return 0; }
+    var ch = src[pos];
+    if (ch >= '0' && ch <= '9') {
+        tokval = 0;
+        while (pos < src_len && src[pos] >= '0' && src[pos] <= '9') {
+            tokval = tokval * 10 + src[pos] - '0';
+            pos = pos + 1;
+        }
+        tok = T_NUM;
+        return 0;
+    }
+    if (ch == 'i' && pos + 1 < src_len && src[pos+1] == 'f') {
+        pos = pos + 2; tok = T_IF; return 0;
+    }
+    if (ch == 'w' && pos + 1 < src_len && src[pos+1] == 'h') {
+        pos = pos + 2; tok = T_WHILE; return 0;
+    }
+    if (ch >= 'a' && ch <= 'z') {
+        tokval = ch - 'a';
+        pos = pos + 1;
+        tok = T_ID;
+        return 0;
+    }
+    pos = pos + 1;
+    if (ch == '+') { tok = T_PLUS; return 0; }
+    if (ch == '-') { tok = T_MINUS; return 0; }
+    if (ch == '*') { tok = T_STAR; return 0; }
+    if (ch == '/') { tok = T_SLASH; return 0; }
+    if (ch == '(') { tok = T_LP; return 0; }
+    if (ch == ')') { tok = T_RP; return 0; }
+    if (ch == '=') { tok = T_ASSIGN; return 0; }
+    if (ch == ';') { tok = T_SEMI; return 0; }
+    if (ch == '{') { tok = T_LB; return 0; }
+    if (ch == '}') { tok = T_RB; return 0; }
+    if (ch == '<') { tok = T_LT; return 0; }
+    tok = T_EOF;
+    return 0;
+}
+
+func emit(op, arg) {
+    code_op[code_len] = op;
+    code_arg[code_len] = arg;
+    code_len = code_len + 1;
+    return code_len - 1;
+}
+
+func patch(at, target) { code_arg[at] = target; }
+
+// expr := primary (('+'|'-'|'*'|'/') primary)*   -- no precedence,
+// parenthesised generation makes it unambiguous
+func parse_primary() {
+    if (tok == T_NUM) { emit(OP_PUSH, tokval); next_tok(); return 0; }
+    if (tok == T_ID) { emit(OP_LOAD, tokval); next_tok(); return 0; }
+    if (tok == T_LP) {
+        next_tok();
+        parse_expr();
+        next_tok();            // consume ')'
+        return 0;
+    }
+    next_tok();
+    return 0;
+}
+
+func parse_expr() {
+    parse_primary();
+    while (tok == T_PLUS || tok == T_MINUS || tok == T_STAR || tok == T_SLASH) {
+        var op = tok;
+        next_tok();
+        parse_primary();
+        if (op == T_PLUS) { emit(OP_ADD, 0); }
+        if (op == T_MINUS) { emit(OP_SUB, 0); }
+        if (op == T_STAR) { emit(OP_MUL, 0); }
+        if (op == T_SLASH) { emit(OP_DIV, 0); }
+    }
+    return 0;
+}
+
+func parse_cond() {
+    parse_expr();
+    next_tok();               // consume '<'
+    parse_expr();
+    emit(OP_LT, 0);
+    return 0;
+}
+
+func parse_stmt() {
+    if (tok == T_ID) {
+        var v = tokval;
+        next_tok();            // id
+        next_tok();            // '='
+        parse_expr();
+        next_tok();            // ';'
+        emit(OP_STORE, v);
+        return 0;
+    }
+    if (tok == T_IF) {
+        next_tok();            // if
+        next_tok();            // '('
+        parse_cond();
+        next_tok();            // ')'
+        var jz = emit(OP_JZ, 0);
+        parse_block();
+        patch(jz, code_len);
+        return 0;
+    }
+    if (tok == T_WHILE) {
+        next_tok();            // wh
+        next_tok();            // '('
+        var top = code_len;
+        parse_cond();
+        next_tok();            // ')'
+        var wjz = emit(OP_JZ, 0);
+        parse_block();
+        emit(OP_JMP, top);
+        patch(wjz, code_len);
+        return 0;
+    }
+    next_tok();
+    return 0;
+}
+
+func parse_block() {
+    next_tok();               // '{'
+    while (tok != T_RB && tok != T_EOF) { parse_stmt(); }
+    next_tok();               // '}'
+    return 0;
+}
+
+func parse_program() {
+    next_tok();
+    while (tok != T_EOF) { parse_stmt(); }
+    emit(OP_HALT, 0);
+    return 0;
+}
+
+// stack-machine interpreter
+array stack[200];
+func execute() {
+    var sp = 0;
+    var ip = 0;
+    var steps = 0;
+    while (steps < 60000) {
+        steps = steps + 1;
+        var op = code_op[ip];
+        var arg = code_arg[ip];
+        ip = ip + 1;
+        if (op == OP_PUSH) { stack[sp] = arg; sp = sp + 1; }
+        else { if (op == OP_LOAD) { stack[sp] = vars[arg]; sp = sp + 1; }
+        else { if (op == OP_STORE) { sp = sp - 1; vars[arg] = stack[sp]; }
+        else { if (op == OP_ADD) { sp = sp - 1; stack[sp-1] = stack[sp-1] + stack[sp]; }
+        else { if (op == OP_SUB) { sp = sp - 1; stack[sp-1] = stack[sp-1] - stack[sp]; }
+        else { if (op == OP_MUL) { sp = sp - 1; stack[sp-1] = (stack[sp-1] * stack[sp]) % 65536; }
+        else { if (op == OP_DIV) {
+            sp = sp - 1;
+            if (stack[sp] == 0) { stack[sp-1] = 0; }
+            else { stack[sp-1] = stack[sp-1] / stack[sp]; }
+        }
+        else { if (op == OP_LT) { sp = sp - 1; stack[sp-1] = stack[sp-1] < stack[sp]; }
+        else { if (op == OP_JZ) { sp = sp - 1; if (stack[sp] == 0) { ip = arg; } }
+        else { if (op == OP_JMP) { ip = arg; }
+        else { return steps; } } } } } } } } } }
+    }
+    return steps;
+}
+
+func main() {
+    var round;
+    var checksum = 0;
+    var total_code = 0;
+    var total_steps = 0;
+    for (round = 0; round < 10; round = round + 1) {
+        src_len = 0; pos = 0; code_len = 0;
+        var i;
+        for (i = 0; i < 8; i = i + 1) { gen_stmt(0); }
+        parse_program();
+        total_code = total_code + code_len;
+        total_steps = total_steps + execute();
+        for (i = 0; i < 26; i = i + 1) {
+            checksum = (checksum * 31 + vars[i]) % 1000000007;
+        }
+    }
+    print total_code;
+    print total_steps;
+    print checksum;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="ccom",
+    language="C",
+    description="first pass of the MIPS C compiler",
+    source=SOURCE,
+)

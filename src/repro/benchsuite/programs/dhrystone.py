@@ -1,0 +1,201 @@
+"""dhrystone -- Reinhold Weicker's synthetic benchmark (paper Appendix).
+
+A faithful-in-spirit MiniC rendition: record manipulation (records as
+parallel arrays), enumeration switching, string comparison, nested
+procedure calls with value parameters and globals -- the original's
+statement mix, scaled to the simulator.
+"""
+
+from repro.benchsuite.registry import Benchmark
+
+SOURCE = r"""
+// Dhrystone-like synthetic benchmark.
+var LOOPS = 1500;
+
+// record fields (two records, like Dhrystone's PtrGlb / PtrGlbNext)
+array rec_discr[2];
+array rec_enum[2];
+array rec_int[2];
+array rec_string[60];          // 2 x 30-char strings
+var int_glob = 0;
+var bool_glob = 0;
+var char1_glob = 'A';
+var char2_glob = 'B';
+array array1_glob[50];
+array array2_glob[2500];       // 50 x 50
+
+func func1(ch1, ch2) {
+    var ch1_loc = ch1;
+    var ch2_loc = ch1_loc;
+    if (ch2_loc != ch2) { return 0; }    // Ident1
+    return 1;                            // Ident2
+}
+
+func func2(stroff1, stroff2) {
+    var int_loc = 1;
+    var ch_loc = 0;
+    while (int_loc <= 1) {
+        if (func1(rec_string[stroff1 + int_loc],
+                  rec_string[stroff2 + int_loc + 1]) == 0) {
+            ch_loc = 'A';
+            int_loc = int_loc + 1;
+        } else {
+            int_loc = int_loc + 1;
+        }
+    }
+    if (ch_loc >= 'W' && ch_loc < 'Z') { int_loc = 7; }
+    if (ch_loc == 'R') { return 1; }
+    if (strcmp(stroff1, stroff2) > 0) {
+        int_loc = int_loc + 7;
+        int_glob = int_loc;
+        return 1;
+    }
+    return 0;
+}
+
+func strcmp(off1, off2) {
+    var i;
+    for (i = 0; i < 30; i = i + 1) {
+        var a = rec_string[off1 + i];
+        var b = rec_string[off2 + i];
+        if (a != b) { return a - b; }
+    }
+    return 0;
+}
+
+func func3(enum_par) {
+    if (enum_par == 2) { return 1; }     // Ident3
+    return 0;
+}
+
+func proc1(rec) {
+    var next = 1 - rec;
+    rec_int[next] = rec_int[rec];
+    rec_int[rec] = 5;
+    rec_discr[next] = rec_discr[rec];
+    proc3(next);
+    if (rec_discr[next] == 0) {          // Ident1
+        rec_int[next] = 6;
+        proc6(rec_enum[rec], next);
+        rec_int[next] = rec_int[next] + rec_int[rec];
+    } else {
+        rec_int[rec] = rec_int[next];
+    }
+}
+
+func proc2(int_par) {
+    var int_loc = int_par + 10;
+    var enum_loc = 0;
+    while (1) {
+        if (char1_glob == 'A') {
+            int_loc = int_loc - 1;
+            int_par = int_loc - int_glob;
+            enum_loc = 1;                // Ident1
+        }
+        if (enum_loc == 1) { break; }
+    }
+    return int_par;
+}
+
+func proc3(rec) {
+    if (rec >= 0) {
+        rec_int[rec] = int_glob;
+    }
+    int_glob = proc7(10, int_glob);
+}
+
+func proc4() {
+    var bool_loc = char1_glob == 'A';
+    bool_glob = bool_loc | bool_glob;
+    char2_glob = 'B';
+}
+
+func proc5() {
+    char1_glob = 'A';
+    bool_glob = 0;
+}
+
+func proc6(enum_val, rec) {
+    rec_enum[rec] = enum_val;
+    if (func3(enum_val) == 0) { rec_enum[rec] = 3; }
+    if (enum_val == 0) { rec_enum[rec] = 0; }
+    else {
+        if (enum_val == 1) {
+            if (int_glob > 100) { rec_enum[rec] = 0; }
+            else { rec_enum[rec] = 3; }
+        } else {
+            if (enum_val == 2) { rec_enum[rec] = 1; }
+        }
+    }
+}
+
+func proc7(int1, int2) {
+    var int_loc = int1 + 2;
+    return int2 + int_loc;
+}
+
+func proc8(base1, base2, int1, int2) {
+    var int_loc = int1 + 5;
+    array1_glob[base1 + int_loc] = int2;
+    array1_glob[base1 + int_loc + 1] = array1_glob[base1 + int_loc];
+    array1_glob[base1 + int_loc + 30] = int_loc;
+    var idx;
+    for (idx = int_loc; idx <= int_loc + 1; idx = idx + 1) {
+        array2_glob[base2 + int_loc * 50 + idx] = int_loc;
+    }
+    array2_glob[base2 + int_loc * 50 + int_loc - 1] =
+        array2_glob[base2 + int_loc * 50 + int_loc - 1] + 1;
+    array2_glob[base2 + (int_loc + 20) * 50 + int_loc] =
+        array1_glob[base1 + int_loc];
+    int_glob = 5;
+}
+
+func fill_string(off, tag) {
+    var i;
+    for (i = 0; i < 30; i = i + 1) {
+        rec_string[off + i] = 'A' + (i * tag) % 26;
+    }
+}
+
+func main() {
+    fill_string(0, 1);
+    fill_string(30, 1);
+    rec_string[30 + 5] = 'Z';            // make the strings differ
+    rec_discr[0] = 0;
+    rec_enum[0] = 2;
+    rec_int[0] = 40;
+    var run;
+    var checksum = 0;
+    for (run = 0; run < LOOPS; run = run + 1) {
+        proc5();
+        proc4();
+        var int1_loc = 2;
+        var int2_loc = 3;
+        var int3_loc = 0;
+        if (func2(0, 30) == 0) { int3_loc = proc7(int1_loc, int2_loc); }
+        proc8(0, 0, int1_loc, int3_loc);
+        proc1(0);
+        var ch_index;
+        for (ch_index = 'A'; ch_index <= char2_glob; ch_index = ch_index + 1) {
+            if (func1(ch_index, 'C') == 1) { int2_loc = proc2(int1_loc); }
+        }
+        int2_loc = int2_loc * int1_loc;
+        int1_loc = int2_loc / int3_loc;
+        int2_loc = 7 * (int2_loc - int3_loc) - int1_loc;
+        int1_loc = proc2(int1_loc);
+        checksum = (checksum + int1_loc + int2_loc + int_glob) % 1000000;
+    }
+    print checksum;
+    print int_glob;
+    print bool_glob;
+    print rec_int[0];
+    print rec_int[1];
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="dhrystone",
+    language="C",
+    description="a synthetic benchmark by Reinhold Weicker",
+    source=SOURCE,
+)

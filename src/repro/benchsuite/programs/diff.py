@@ -1,0 +1,143 @@
+"""diff -- the UNIX file comparison utility (paper Appendix).
+
+LCS-based comparison of two synthetic "files" (arrays of line hashes
+derived from a deterministic generator plus systematic edits), with a
+dynamic-programming table, backtracking edit-script extraction, and a
+hunk counter -- the same algorithmic core as diff(1).
+"""
+
+from repro.benchsuite.registry import Benchmark
+
+SOURCE = r"""
+// LCS diff over arrays of line hashes.
+var NA = 90;
+var NB = 95;
+array filea[100];
+array fileb[100];
+array lcs[10000];              // (NA+1) x (NB+1) DP table
+array script[400];             // edit script: +line / -line tags
+var script_len = 0;
+var seed = 999;
+
+func rnd(limit) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return (seed / 65536) % limit;
+}
+
+func line_hash(doc, i) {
+    // synthetic line content hash
+    return (doc * 131 + i * 31 + (i % 7) * 17) % 1000;
+}
+
+func build_files() {
+    var i;
+    for (i = 0; i < NA; i = i + 1) { filea[i] = line_hash(1, i); }
+    var j = 0;
+    for (i = 0; i < NA && j < NB; i = i + 1) {
+        var r = rnd(10);
+        if (r < 7) {
+            fileb[j] = filea[i];          // unchanged line
+            j = j + 1;
+        } else {
+            if (r < 9) {
+                fileb[j] = line_hash(2, i);  // replaced line
+                j = j + 1;
+            }
+            // r == 9: line deleted from b
+        }
+        if (rnd(10) == 0 && j < NB) {
+            fileb[j] = line_hash(3, i);      // inserted line
+            j = j + 1;
+        }
+    }
+    while (j < NB) {
+        fileb[j] = line_hash(4, j);
+        j = j + 1;
+    }
+}
+
+func cell(i, j) { return lcs[i * (NB + 1) + j]; }
+
+func set_cell(i, j, v) { lcs[i * (NB + 1) + j] = v; }
+
+func max2(a, b) {
+    if (a > b) { return a; }
+    return b;
+}
+
+func fill_table() {
+    var i; var j;
+    for (i = 0; i <= NA; i = i + 1) { set_cell(i, 0, 0); }
+    for (j = 0; j <= NB; j = j + 1) { set_cell(0, j, 0); }
+    for (i = 1; i <= NA; i = i + 1) {
+        for (j = 1; j <= NB; j = j + 1) {
+            if (filea[i - 1] == fileb[j - 1]) {
+                set_cell(i, j, cell(i - 1, j - 1) + 1);
+            } else {
+                set_cell(i, j, max2(cell(i - 1, j), cell(i, j - 1)));
+            }
+        }
+    }
+    return cell(NA, NB);
+}
+
+func emit(tag, line) {
+    script[script_len] = tag * 1000 + line;
+    script_len = script_len + 1;
+}
+
+// recursive backtrack over the DP table, emitting the edit script
+func backtrack(i, j) {
+    if (i > 0 && j > 0 && filea[i - 1] == fileb[j - 1]) {
+        backtrack(i - 1, j - 1);
+        return;
+    }
+    if (j > 0 && (i == 0 || cell(i, j - 1) >= cell(i - 1, j))) {
+        backtrack(i, j - 1);
+        emit(1, j - 1);        // insert b[j-1]
+        return;
+    }
+    if (i > 0) {
+        backtrack(i - 1, j);
+        emit(2, i - 1);        // delete a[i-1]
+    }
+}
+
+func count_hunks() {
+    var hunks = 0;
+    var prev_tag = 0;
+    var k;
+    for (k = 0; k < script_len; k = k + 1) {
+        var tag = script[k] / 1000;
+        if (tag != prev_tag) { hunks = hunks + 1; }
+        prev_tag = tag;
+    }
+    return hunks;
+}
+
+func script_checksum() {
+    var s = 0;
+    var k;
+    for (k = 0; k < script_len; k = k + 1) {
+        s = (s * 31 + script[k]) % 1000000007;
+    }
+    return s;
+}
+
+func main() {
+    build_files();
+    var common = fill_table();
+    print common;
+    backtrack(NA, NB);
+    print script_len;
+    print count_hunks();
+    print script_checksum();
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="diff",
+    language="C",
+    description="the UNIX file comparison utility",
+    source=SOURCE,
+)

@@ -1,0 +1,111 @@
+"""map -- a program to find a 4-coloring for a map (paper Appendix).
+
+Backtracking search for 4-colorings of a synthetic planar-style region
+adjacency graph, with a feasibility helper called at every assignment --
+the classic course exercise's call pattern.
+"""
+
+from repro.benchsuite.registry import Benchmark
+
+SOURCE = r"""
+// 4-coloring of a map by backtracking.
+var N = 14;                     // number of regions
+array adj[200];                 // N x N adjacency matrix
+array color[20];                // region -> 0..3, -1 unassigned
+var solutions = 0;
+var probes = 0;
+var seed = 12345;
+
+func rnd(limit) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    var v = seed / 65536;
+    return v % limit;
+}
+
+func edge(a, b) {
+    adj[a * N + b] = 1;
+    adj[b * N + a] = 1;
+}
+
+// chain + random chords: planar-ish, connected, irregular
+func build_map() {
+    var i;
+    for (i = 0; i + 1 < N; i = i + 1) { edge(i, i + 1); }
+    edge(0, N - 1);
+    var chords = N * 2;
+    for (i = 0; i < chords; i = i + 1) {
+        var a = rnd(N);
+        var b = rnd(N);
+        if (a != b) { edge(a, b); }
+    }
+}
+
+func feasible(region, c) {
+    probes = probes + 1;
+    var j;
+    for (j = 0; j < N; j = j + 1) {
+        if (adj[region * N + j] == 1 && color[j] == c) { return 0; }
+    }
+    return 1;
+}
+
+func solve(region) {
+    if (region == N) {
+        solutions = solutions + 1;
+        return 0;
+    }
+    var c;
+    var found = 0;
+    for (c = 0; c < 4; c = c + 1) {
+        if (feasible(region, c)) {
+            color[region] = c;
+            if (solve(region + 1)) { found = 1; }
+            color[region] = -1;
+            if (solutions >= 1000) { return found; }
+        }
+    }
+    return found;
+}
+
+func first_coloring(region) {
+    if (region == N) { return 1; }
+    var c;
+    for (c = 0; c < 4; c = c + 1) {
+        if (feasible(region, c)) {
+            color[region] = c;
+            if (first_coloring(region + 1)) { return 1; }
+            color[region] = -1;
+        }
+    }
+    return 0;
+}
+
+func checksum() {
+    var s = 0;
+    var i;
+    for (i = 0; i < N; i = i + 1) { s = s * 5 + color[i] + 1; }
+    return s % 1000000007;
+}
+
+func main() {
+    build_map();
+    var i;
+    for (i = 0; i < N; i = i + 1) { color[i] = -1; }
+    if (first_coloring(0)) {
+        print checksum();
+    } else {
+        print -1;
+    }
+    for (i = 0; i < N; i = i + 1) { color[i] = -1; }
+    solve(0);
+    print solutions;
+    print probes;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="map",
+    language="Pascal",
+    description="a program to find a 4-coloring for a map",
+    source=SOURCE,
+)

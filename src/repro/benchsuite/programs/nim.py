@@ -1,0 +1,126 @@
+"""nim -- a program to play the game of Nim (paper Appendix).
+
+Three-heap Nim played by full game-tree search with memoisation, then
+optimal self-play from many starting positions.  Small and extremely
+call-intensive, like the Stanford course original.
+"""
+
+from repro.benchsuite.registry import Benchmark
+
+SOURCE = r"""
+// Three-heap Nim: game-tree search with memoisation, then self-play.
+var HEAP = 8;                 // heap size bound (positions 0..8)
+array memo[1000];             // (a*10+b)*10+c -> 0 unknown, 1 win, 2 loss
+var nodes = 0;                // search statistics
+var games = 0;
+var first_wins = 0;
+
+func encode(a, b, c) {
+    return (a * 10 + b) * 10 + c;
+}
+
+// 1 if the player to move wins from (a,b,c)
+func wins(a, b, c) {
+    var key = encode(a, b, c);
+    var m = memo[key];
+    if (m != 0) {
+        return m == 1;
+    }
+    nodes = nodes + 1;
+    if (a == 0 && b == 0 && c == 0) {
+        memo[key] = 2;        // no move: current player loses
+        return 0;
+    }
+    var take;
+    for (take = 1; take <= a; take = take + 1) {
+        if (!wins(a - take, b, c)) { memo[key] = 1; return 1; }
+    }
+    for (take = 1; take <= b; take = take + 1) {
+        if (!wins(a, b - take, c)) { memo[key] = 1; return 1; }
+    }
+    for (take = 1; take <= c; take = take + 1) {
+        if (!wins(a, b, c - take)) { memo[key] = 1; return 1; }
+    }
+    memo[key] = 2;
+    return 0;
+}
+
+array move_a[1];
+array move_b[1];
+array move_c[1];
+
+// find a winning move (or take one from the largest heap)
+func choose(a, b, c) {
+    var take;
+    for (take = 1; take <= a; take = take + 1) {
+        if (!wins(a - take, b, c)) {
+            move_a[0] = a - take; move_b[0] = b; move_c[0] = c;
+            return 1;
+        }
+    }
+    for (take = 1; take <= b; take = take + 1) {
+        if (!wins(a, b - take, c)) {
+            move_a[0] = a; move_b[0] = b - take; move_c[0] = c;
+            return 1;
+        }
+    }
+    for (take = 1; take <= c; take = take + 1) {
+        if (!wins(a, b, c - take)) {
+            move_a[0] = a; move_b[0] = b; move_c[0] = c - take;
+            return 1;
+        }
+    }
+    // losing position: remove one token from the biggest heap
+    if (a >= b && a >= c) { move_a[0] = a - 1; move_b[0] = b; move_c[0] = c; }
+    else {
+        if (b >= c) { move_a[0] = a; move_b[0] = b - 1; move_c[0] = c; }
+        else { move_a[0] = a; move_b[0] = b; move_c[0] = c - 1; }
+    }
+    return 0;
+}
+
+// optimal self-play from (a,b,c); returns 1 if the first player wins
+func play(a, b, c) {
+    var turn = 0;             // 0 = first player to move
+    while (a + b + c > 0) {
+        choose(a, b, c);
+        a = move_a[0]; b = move_b[0]; c = move_c[0];
+        turn = 1 - turn;
+    }
+    // the player who made the last move (took the last token) wins
+    return turn == 1;
+}
+
+func main() {
+    var a; var b; var c;
+    for (a = 0; a < HEAP; a = a + 1) {
+        for (b = 0; b < HEAP; b = b + 1) {
+            for (c = 0; c < HEAP; c = c + 1) {
+                games = games + 1;
+                if (play(a, b, c)) { first_wins = first_wins + 1; }
+            }
+        }
+    }
+    print nodes;
+    print games;
+    print first_wins;
+    // cross-check: grundy theory says first player wins iff a^b^c != 0
+    var mism = 0;
+    for (a = 0; a < HEAP; a = a + 1) {
+        for (b = 0; b < HEAP; b = b + 1) {
+            for (c = 0; c < HEAP; c = c + 1) {
+                var theory = (a ^ b ^ c) != 0;
+                if (theory != wins(a, b, c)) { mism = mism + 1; }
+            }
+        }
+    }
+    print mism;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="nim",
+    language="Pascal",
+    description="a program to play the game of Nim",
+    source=SOURCE,
+)

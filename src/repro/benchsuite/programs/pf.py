@@ -1,0 +1,248 @@
+"""pf -- a Pascal pretty-printer written by Larry Weber (paper Appendix).
+
+Tokenises a synthetic Pascal-ish character stream and re-emits it with
+canonical spacing and block indentation, producing a checksum of the
+emitted characters.  Token dispatch and emission run through small
+procedures, as the original did.
+"""
+
+from repro.benchsuite.registry import Benchmark
+
+SOURCE = r"""
+// Pascal pretty-printer: tokenize, then re-emit with indentation.
+array src[4000];              // input characters
+var src_len = 0;
+array toks[2000];             // token codes
+array tokv[2000];             // token values (identifier hash / number)
+var ntoks = 0;
+
+// token codes
+var T_ID = 1;
+var T_NUM = 2;
+var T_BEGIN = 3;
+var T_END = 4;
+var T_IF = 5;
+var T_THEN = 6;
+var T_ELSE = 7;
+var T_WHILE = 8;
+var T_DO = 9;
+var T_ASSIGN = 10;            // :=
+var T_SEMI = 11;
+var T_PLUS = 12;
+var T_STAR = 13;
+var T_LP = 14;
+var T_RP = 15;
+var T_LT = 16;
+
+var out_col = 0;
+var out_line = 0;
+var indent = 0;
+var check = 0;
+
+var seed = 4242;
+
+func rnd(limit) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return (seed / 65536) % limit;
+}
+
+func put_src(ch) {
+    src[src_len] = ch;
+    src_len = src_len + 1;
+}
+
+func put_word(a, b, c, d, e) {
+    if (a != 0) { put_src(a); }
+    if (b != 0) { put_src(b); }
+    if (c != 0) { put_src(c); }
+    if (d != 0) { put_src(d); }
+    if (e != 0) { put_src(e); }
+    put_src(' ');
+}
+
+// emit one random statement into the source buffer
+func gen_stmt(depth) {
+    var kind = rnd(4);
+    if (depth > 3) { kind = 0; }
+    if (kind == 0) {
+        // x := n + y * 2 ;
+        put_src('a' + rnd(26));
+        put_src(':'); put_src('=');
+        put_src('0' + rnd(10));
+        put_src('+');
+        put_src('a' + rnd(26));
+        put_src('*');
+        put_src('0' + rnd(10));
+        put_src(';');
+        return 1;
+    }
+    if (kind == 1) {
+        put_word('b','e','g','i','n');
+        var n = 1 + rnd(3);
+        var i;
+        var stmts = 0;
+        for (i = 0; i < n; i = i + 1) { stmts = stmts + gen_stmt(depth + 1); }
+        put_word('e','n','d',0,0);
+        put_src(';');
+        return stmts;
+    }
+    if (kind == 2) {
+        put_word('i','f',0,0,0);
+        put_src('a' + rnd(26));
+        put_src('<');
+        put_src('0' + rnd(10));
+        put_word(0,0,0,0,0);
+        put_word('t','h','e','n',0);
+        return gen_stmt(depth + 1);
+    }
+    put_word('w','h','i','l','e');
+    put_src('a' + rnd(26));
+    put_src('<');
+    put_src('0' + rnd(10));
+    put_word(0,0,0,0,0);
+    put_word('d','o',0,0,0);
+    return gen_stmt(depth + 1);
+}
+
+func is_alpha(ch) { return ch >= 'a' && ch <= 'z'; }
+func is_digit(ch) { return ch >= '0' && ch <= '9'; }
+
+func add_tok(code, v) {
+    toks[ntoks] = code;
+    tokv[ntoks] = v;
+    ntoks = ntoks + 1;
+}
+
+func keyword(h, len) {
+    // recognise keywords by hash+length (collision-free for our set)
+    if (len == 5 && h == 'b'+'e'+'g'+'i'+'n') { return T_BEGIN; }
+    if (len == 3 && h == 'e'+'n'+'d') { return T_END; }
+    if (len == 2 && h == 'i'+'f') { return T_IF; }
+    if (len == 4 && h == 't'+'h'+'e'+'n') { return T_THEN; }
+    if (len == 4 && h == 'e'+'l'+'s'+'e') { return T_ELSE; }
+    if (len == 5 && h == 'w'+'h'+'i'+'l'+'e') { return T_WHILE; }
+    if (len == 2 && h == 'd'+'o') { return T_DO; }
+    return 0;
+}
+
+func scan() {
+    var i = 0;
+    while (i < src_len) {
+        var ch = src[i];
+        if (ch == ' ') { i = i + 1; }
+        else { if (is_alpha(ch)) {
+            var h = 0;
+            var len = 0;
+            while (i < src_len && is_alpha(src[i])) {
+                h = h + src[i];
+                len = len + 1;
+                i = i + 1;
+            }
+            var kw = keyword(h, len);
+            if (kw != 0) { add_tok(kw, 0); }
+            else { add_tok(T_ID, h); }
+        } else { if (is_digit(ch)) {
+            var v = 0;
+            while (i < src_len && is_digit(src[i])) {
+                v = v * 10 + src[i] - '0';
+                i = i + 1;
+            }
+            add_tok(T_NUM, v);
+        } else { if (ch == ':' && i + 1 < src_len && src[i+1] == '=') {
+            add_tok(T_ASSIGN, 0);
+            i = i + 2;
+        } else {
+            if (ch == ';') { add_tok(T_SEMI, 0); }
+            if (ch == '+') { add_tok(T_PLUS, 0); }
+            if (ch == '*') { add_tok(T_STAR, 0); }
+            if (ch == '(') { add_tok(T_LP, 0); }
+            if (ch == ')') { add_tok(T_RP, 0); }
+            if (ch == '<') { add_tok(T_LT, 0); }
+            i = i + 1;
+        } } }
+        }
+    }
+}
+
+func emit_char(ch) {
+    check = (check * 31 + ch + out_col) % 1000000007;
+    out_col = out_col + 1;
+}
+
+func newline() {
+    emit_char(10);
+    out_line = out_line + 1;
+    out_col = 0;
+    var i;
+    for (i = 0; i < indent * 2; i = i + 1) { emit_char(' '); }
+}
+
+func emit_word(code, v) {
+    if (code == T_ID) { emit_char('a' + v % 26); return 0; }
+    if (code == T_NUM) {
+        if (v >= 10) { emit_char('0' + v / 10 % 10); }
+        emit_char('0' + v % 10);
+        return 0;
+    }
+    if (code == T_BEGIN) { emit_char('B'); return 0; }
+    if (code == T_END) { emit_char('E'); return 0; }
+    if (code == T_IF) { emit_char('I'); return 0; }
+    if (code == T_THEN) { emit_char('T'); return 0; }
+    if (code == T_WHILE) { emit_char('W'); return 0; }
+    if (code == T_DO) { emit_char('D'); return 0; }
+    if (code == T_ASSIGN) { emit_char(':'); emit_char('='); return 0; }
+    if (code == T_SEMI) { emit_char(';'); return 0; }
+    if (code == T_PLUS) { emit_char('+'); return 0; }
+    if (code == T_STAR) { emit_char('*'); return 0; }
+    if (code == T_LT) { emit_char('<'); return 0; }
+    emit_char('?');
+    return 0;
+}
+
+func pretty() {
+    var i;
+    for (i = 0; i < ntoks; i = i + 1) {
+        var code = toks[i];
+        if (code == T_BEGIN) {
+            newline();
+            emit_word(code, 0);
+            indent = indent + 1;
+            newline();
+        } else { if (code == T_END) {
+            indent = indent - 1;
+            newline();
+            emit_word(code, 0);
+        } else { if (code == T_SEMI) {
+            emit_word(code, 0);
+            newline();
+        } else {
+            emit_word(code, tokv[i]);
+            emit_char(' ');
+        } } }
+    }
+}
+
+func main() {
+    put_word('b','e','g','i','n');
+    var stmts = 0;
+    var k;
+    for (k = 0; k < 10; k = k + 1) {
+        stmts = stmts + gen_stmt(1);
+    }
+    put_word('e','n','d',0,0);
+    print src_len;
+    scan();
+    print ntoks;
+    print stmts;
+    pretty();
+    print out_line;
+    print check;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="pf",
+    language="Pascal",
+    description="a Pascal pretty-printer written by Larry Weber",
+    source=SOURCE,
+)

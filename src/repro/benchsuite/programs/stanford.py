@@ -1,0 +1,331 @@
+"""stanford -- the benchmark suite collected by John Hennessy (paper
+Appendix).
+
+The classic small-program collection: Perm, Towers, Queens, Intmm,
+Bubble, Quick and Tree-insert, each printing a checksum, sized for the
+simulator.
+"""
+
+from repro.benchsuite.registry import Benchmark
+
+SOURCE = r"""
+// Stanford integer suite: perm, towers, queens, intmm, bubble, quick, tree.
+var seed = 74755;
+
+func rnd() {
+    seed = (seed * 1309 + 13849) % 65536;
+    return seed;
+}
+
+// ---------------- Perm ----------------
+array permarray[12];
+var pctr = 0;
+
+func swap_perm(i, j) {
+    var t = permarray[i];
+    permarray[i] = permarray[j];
+    permarray[j] = t;
+}
+
+func permute(n) {
+    pctr = pctr + 1;
+    if (n != 1) {
+        permute(n - 1);
+        var k;
+        for (k = n - 1; k >= 1; k = k - 1) {
+            swap_perm(n - 1, k - 1);
+            permute(n - 1);
+            swap_perm(n - 1, k - 1);
+        }
+    }
+}
+
+func do_perm() {
+    var i;
+    for (i = 0; i < 7; i = i + 1) { permarray[i] = i; }
+    pctr = 0;
+    permute(7);
+    return pctr;
+}
+
+// ---------------- Towers ----------------
+array stackp[4];               // top disc index per peg
+array cellcont[40];            // linked cells: disc size
+array cellnext[40];
+var freelist = 0;
+var movesdone = 0;
+
+func tower_error(code) { print 0 - code; return 0; }
+
+func makenull(s) { stackp[s] = 0; }
+
+func getelement() {
+    if (freelist == 0) { return tower_error(1); }
+    var temp = freelist;
+    freelist = cellnext[freelist];
+    return temp;
+}
+
+func tower_push(i, s) {
+    if (stackp[s] > 0 && cellcont[stackp[s]] <= i) {
+        return tower_error(2);
+    }
+    var el = getelement();
+    cellnext[el] = stackp[s];
+    cellcont[el] = i;
+    stackp[s] = el;
+    return 1;
+}
+
+func init_peg(s, n) {
+    makenull(s);
+    var discctr;
+    for (discctr = n; discctr >= 1; discctr = discctr - 1) {
+        tower_push(discctr, s);
+    }
+}
+
+func tower_pop(s) {
+    if (stackp[s] == 0) { return tower_error(3); }
+    var el = stackp[s];
+    var v = cellcont[el];
+    stackp[s] = cellnext[el];
+    cellnext[el] = freelist;
+    freelist = el;
+    return v;
+}
+
+func tower_move(s1, s2) {
+    tower_push(tower_pop(s1), s2);
+    movesdone = movesdone + 1;
+}
+
+func towers(i, j, k) {
+    if (k == 1) { tower_move(i, j); }
+    else {
+        var other = 6 - i - j;
+        towers(i, other, k - 1);
+        tower_move(i, j);
+        towers(other, j, k - 1);
+    }
+}
+
+func do_towers() {
+    var i;
+    freelist = 0;
+    for (i = 1; i < 40; i = i + 1) {
+        cellnext[i] = freelist;
+        freelist = i;
+    }
+    init_peg(1, 10);
+    makenull(2);
+    makenull(3);
+    movesdone = 0;
+    towers(1, 2, 10);
+    return movesdone;
+}
+
+// ---------------- Queens ----------------
+array qa[10];                  // column free
+array qb[20];                  // diagonal 1 free
+array qc[20];                  // diagonal 2 free
+array qx[10];
+var qcount = 0;
+
+func queens_try(row) {
+    var col;
+    for (col = 0; col < 8; col = col + 1) {
+        if (qa[col] && qb[row + col] && qc[row - col + 7]) {
+            qx[row] = col;
+            qa[col] = 0;
+            qb[row + col] = 0;
+            qc[row - col + 7] = 0;
+            if (row == 7) { qcount = qcount + 1; }
+            else { queens_try(row + 1); }
+            qa[col] = 1;
+            qb[row + col] = 1;
+            qc[row - col + 7] = 1;
+        }
+    }
+}
+
+func do_queens() {
+    var i;
+    for (i = 0; i < 10; i = i + 1) { qa[i] = 1; }
+    for (i = 0; i < 20; i = i + 1) { qb[i] = 1; qc[i] = 1; }
+    qcount = 0;
+    queens_try(0);
+    return qcount;
+}
+
+// ---------------- Intmm ----------------
+var MM = 12;
+array ima[144];
+array imb[144];
+array imr[144];
+
+func init_matrix(base_is_a) {
+    var i; var j;
+    for (i = 0; i < MM; i = i + 1) {
+        for (j = 0; j < MM; j = j + 1) {
+            var v = (rnd() % 120) - 60;
+            if (base_is_a) { ima[i * MM + j] = v; }
+            else { imb[i * MM + j] = v; }
+        }
+    }
+}
+
+func inner_product(row, col) {
+    var s = 0;
+    var k;
+    for (k = 0; k < MM; k = k + 1) {
+        s = s + ima[row * MM + k] * imb[k * MM + col];
+    }
+    return s;
+}
+
+func do_intmm() {
+    init_matrix(1);
+    init_matrix(0);
+    var i; var j;
+    for (i = 0; i < MM; i = i + 1) {
+        for (j = 0; j < MM; j = j + 1) {
+            imr[i * MM + j] = inner_product(i, j);
+        }
+    }
+    var trace = 0;
+    for (i = 0; i < MM; i = i + 1) { trace = trace + imr[i * MM + i]; }
+    return trace;
+}
+
+// ---------------- Bubble & Quick ----------------
+var SORTN = 120;
+array sortlist[130];
+
+func init_list() {
+    var i;
+    var littlest = 100000;
+    var biggest = -100000;
+    for (i = 0; i < SORTN; i = i + 1) {
+        var v = rnd() % 10000 - 5000;
+        sortlist[i] = v;
+        if (v < littlest) { littlest = v; }
+        if (v > biggest) { biggest = v; }
+    }
+    return biggest - littlest;
+}
+
+func do_bubble() {
+    var spread = init_list();
+    var top = SORTN - 1;
+    while (top > 0) {
+        var i;
+        for (i = 0; i < top; i = i + 1) {
+            if (sortlist[i] > sortlist[i + 1]) {
+                var t = sortlist[i];
+                sortlist[i] = sortlist[i + 1];
+                sortlist[i + 1] = t;
+            }
+        }
+        top = top - 1;
+    }
+    return sortlist[0] + sortlist[SORTN - 1] + spread;
+}
+
+func quicksort(lo, hi) {
+    var i = lo;
+    var j = hi;
+    var pivot = sortlist[(lo + hi) / 2];
+    while (i <= j) {
+        while (sortlist[i] < pivot) { i = i + 1; }
+        while (pivot < sortlist[j]) { j = j - 1; }
+        if (i <= j) {
+            var t = sortlist[i];
+            sortlist[i] = sortlist[j];
+            sortlist[j] = t;
+            i = i + 1;
+            j = j - 1;
+        }
+    }
+    if (lo < j) { quicksort(lo, j); }
+    if (i < hi) { quicksort(i, hi); }
+}
+
+func do_quick() {
+    var spread = init_list();
+    quicksort(0, SORTN - 1);
+    var sorted = 1;
+    var i;
+    for (i = 0; i + 1 < SORTN; i = i + 1) {
+        if (sortlist[i] > sortlist[i + 1]) { sorted = 0; }
+    }
+    return sortlist[0] + sortlist[SORTN - 1] + spread + sorted;
+}
+
+// ---------------- Trees (binary search tree insert) ----------------
+array tval[300];
+array tleft[300];
+array tright[300];
+var tnodes = 0;
+
+func tree_insert(node, v) {
+    if (v < tval[node]) {
+        if (tleft[node] == 0) {
+            tnodes = tnodes + 1;
+            tval[tnodes] = v;
+            tleft[tnodes] = 0;
+            tright[tnodes] = 0;
+            tleft[node] = tnodes;
+        } else {
+            tree_insert(tleft[node], v);
+        }
+    } else {
+        if (tright[node] == 0) {
+            tnodes = tnodes + 1;
+            tval[tnodes] = v;
+            tleft[tnodes] = 0;
+            tright[tnodes] = 0;
+            tright[node] = tnodes;
+        } else {
+            tree_insert(tright[node], v);
+        }
+    }
+}
+
+func tree_depth(node) {
+    if (node == 0) { return 0; }
+    var l = tree_depth(tleft[node]);
+    var r = tree_depth(tright[node]);
+    if (l > r) { return l + 1; }
+    return r + 1;
+}
+
+func do_trees() {
+    tnodes = 1;
+    tval[1] = rnd() % 10000;
+    tleft[1] = 0;
+    tright[1] = 0;
+    var i;
+    for (i = 0; i < 200; i = i + 1) {
+        tree_insert(1, rnd() % 10000);
+    }
+    return tree_depth(1) * 1000 + tnodes;
+}
+
+func main() {
+    print do_perm();
+    print do_towers();
+    print do_queens();
+    print do_intmm();
+    print do_bubble();
+    print do_quick();
+    print do_trees();
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="stanford",
+    language="Pascal",
+    description="a benchmark suite collected by John Hennessy",
+    source=SOURCE,
+)

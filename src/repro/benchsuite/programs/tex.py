@@ -1,0 +1,140 @@
+"""tex -- virtex from the TeX typesetting package (paper Appendix).
+
+The core of TeX's paragraph builder: optimal line breaking by dynamic
+programming over badness (cubic deviation from the target line width),
+with penalties, over synthetic paragraphs of words -- plus a greedy
+first-fit pass for comparison, both driven through helper procedures.
+"""
+
+from repro.benchsuite.registry import Benchmark
+
+SOURCE = r"""
+// Paragraph line breaking with badness minimisation (Knuth-style DP).
+var NWORDS = 110;
+var LINE_WIDTH = 60;
+array wlen[200];               // word lengths
+array best[200];               // best[i] = min demerits for words i..N
+array brk[200];                // chosen break after word index
+var seed = 271828;
+var badness_calls = 0;
+
+func rnd(limit) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return (seed / 65536) % limit;
+}
+
+func gen_words() {
+    var i;
+    for (i = 0; i < NWORDS; i = i + 1) {
+        wlen[i] = 2 + rnd(9);
+    }
+}
+
+// width of words i..j-1 with single spaces
+func line_width(i, j) {
+    var w = 0;
+    var k;
+    for (k = i; k < j; k = k + 1) {
+        w = w + wlen[k];
+        if (k > i) { w = w + 1; }
+    }
+    return w;
+}
+
+func cube(x) { return x * x * x; }
+
+func badness(i, j, is_last) {
+    badness_calls = badness_calls + 1;
+    var w = line_width(i, j);
+    if (w > LINE_WIDTH) { return 1000000; }     // overfull: forbidden
+    if (is_last) { return 0; }                  // last line is free
+    var slack = LINE_WIDTH - w;
+    return cube(slack);
+}
+
+// DP from the end: best break sequence
+func solve() {
+    best[NWORDS] = 0;
+    var i;
+    for (i = NWORDS - 1; i >= 0; i = i - 1) {
+        best[i] = 1000000000;
+        var j;
+        for (j = i + 1; j <= NWORDS; j = j + 1) {
+            var b = badness(i, j, j == NWORDS);
+            if (b >= 1000000) { break; }
+            var total = b + best[j];
+            if (total < best[i]) {
+                best[i] = total;
+                brk[i] = j;
+            }
+        }
+    }
+    return best[0];
+}
+
+func count_lines() {
+    var lines = 0;
+    var i = 0;
+    while (i < NWORDS) {
+        lines = lines + 1;
+        i = brk[i];
+    }
+    return lines;
+}
+
+// greedy first-fit for comparison
+func greedy() {
+    var demerits = 0;
+    var i = 0;
+    var lines = 0;
+    while (i < NWORDS) {
+        var j = i + 1;
+        while (j < NWORDS && line_width(i, j + 1) <= LINE_WIDTH) {
+            j = j + 1;
+        }
+        demerits = demerits + badness(i, j, j == NWORDS);
+        lines = lines + 1;
+        i = j;
+    }
+    return demerits * 1000 + lines;
+}
+
+func hyphen_pass() {
+    // simulated hyphenation: split every word longer than 8
+    var extra = 0;
+    var i;
+    for (i = 0; i < NWORDS; i = i + 1) {
+        if (wlen[i] > 8) {
+            wlen[i] = wlen[i] - 3;
+            extra = extra + 1;
+        }
+    }
+    return extra;
+}
+
+func main() {
+    var para;
+    var total_opt = 0;
+    var total_greedy = 0;
+    var total_lines = 0;
+    for (para = 0; para < 4; para = para + 1) {
+        gen_words();
+        total_greedy = total_greedy + greedy();
+        total_opt = total_opt + solve();
+        total_lines = total_lines + count_lines();
+        hyphen_pass();
+        total_opt = total_opt + solve();
+    }
+    print total_opt;
+    print total_greedy;
+    print total_lines;
+    print badness_calls;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="tex",
+    language="Pascal",
+    description="virtex from the TeX typesetting package",
+    source=SOURCE,
+)

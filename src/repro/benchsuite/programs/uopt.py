@@ -1,0 +1,244 @@
+"""uopt -- the MIPS Ucode global optimizer (paper Appendix).
+
+The optimizer optimizing (a model of) itself: builds basic blocks and a
+control-flow graph from generated quad streams, runs iterative bit-vector
+liveness to a fixed point, removes dead assignments, and performs local
+common-subexpression elimination -- the same passes Uopt spent its time
+in, including its register allocator's liveness machinery.
+"""
+
+from repro.benchsuite.registry import Benchmark
+
+SOURCE = r"""
+// A model of the Ucode global optimizer: CFG + liveness + DCE + local CSE.
+// Quads: op, dst, src1, src2 over 24 pseudo-registers.
+var NQ = 600;
+array q_op[700];              // 1=add 2=mul 3=copy 4=cjump(label) 5=label 6=print-use
+array q_dst[700];
+array q_s1[700];
+array q_s2[700];
+
+// basic block structure
+array blk_start[200];
+array blk_end[200];           // exclusive
+array blk_succ1[200];
+array blk_succ2[200];
+var nblocks = 0;
+
+// dataflow bit vectors (24 regs -> one word each)
+array use_set[200];
+array def_set[200];
+array live_in[200];
+array live_out[200];
+
+array label_block[100];       // label id -> block index
+var seed = 69314;
+
+func rnd(limit) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return (seed / 65536) % limit;
+}
+
+func gen_quads() {
+    var i;
+    var nlabels = 0;
+    for (i = 0; i < NQ; i = i + 1) {
+        var k = rnd(12);
+        if (k == 0 && nlabels < 90) {
+            q_op[i] = 5; q_dst[i] = nlabels;
+            nlabels = nlabels + 1;
+        } else { if (k == 1 && nlabels > 0) {
+            q_op[i] = 4; q_s1[i] = rnd(24); q_dst[i] = rnd(nlabels);
+        } else { if (k <= 5) {
+            q_op[i] = 1; q_dst[i] = rnd(24); q_s1[i] = rnd(6); q_s2[i] = rnd(6);
+        } else { if (k <= 8) {
+            q_op[i] = 2; q_dst[i] = rnd(24); q_s1[i] = rnd(6); q_s2[i] = rnd(6);
+        } else { if (k <= 10) {
+            q_op[i] = 3; q_dst[i] = rnd(24); q_s1[i] = rnd(24);
+        } else {
+            q_op[i] = 6; q_s1[i] = rnd(24);
+        } } } } }
+    }
+    return nlabels;
+}
+
+func is_leader(i) {
+    if (i == 0) { return 1; }
+    if (q_op[i] == 5) { return 1; }               // label
+    if (q_op[i - 1] == 4) { return 1; }           // after branch
+    return 0;
+}
+
+func find_blocks() {
+    nblocks = 0;
+    var i;
+    for (i = 0; i < NQ; i = i + 1) {
+        if (is_leader(i)) {
+            if (nblocks > 0) { blk_end[nblocks - 1] = i; }
+            blk_start[nblocks] = i;
+            nblocks = nblocks + 1;
+        }
+        if (q_op[i] == 5) { label_block[q_dst[i]] = nblocks - 1; }
+    }
+    blk_end[nblocks - 1] = NQ;
+}
+
+func link_blocks() {
+    var b;
+    for (b = 0; b < nblocks; b = b + 1) {
+        blk_succ1[b] = -1;
+        blk_succ2[b] = -1;
+        var last = blk_end[b] - 1;
+        if (q_op[last] == 4) {
+            blk_succ1[b] = label_block[q_dst[last]];
+            if (b + 1 < nblocks) { blk_succ2[b] = b + 1; }
+        } else {
+            if (b + 1 < nblocks) { blk_succ1[b] = b + 1; }
+        }
+    }
+}
+
+func bit(r) { return 1 << r; }
+
+func compute_use_def() {
+    var b;
+    for (b = 0; b < nblocks; b = b + 1) {
+        var u = 0;
+        var d = 0;
+        var i;
+        for (i = blk_start[b]; i < blk_end[b]; i = i + 1) {
+            var op = q_op[i];
+            if (op == 1 || op == 2) {
+                if ((d & bit(q_s1[i])) == 0) { u = u | bit(q_s1[i]); }
+                if ((d & bit(q_s2[i])) == 0) { u = u | bit(q_s2[i]); }
+                d = d | bit(q_dst[i]);
+            }
+            if (op == 3) {
+                if ((d & bit(q_s1[i])) == 0) { u = u | bit(q_s1[i]); }
+                d = d | bit(q_dst[i]);
+            }
+            if (op == 4 || op == 6) {
+                if ((d & bit(q_s1[i])) == 0) { u = u | bit(q_s1[i]); }
+            }
+        }
+        use_set[b] = u;
+        def_set[b] = d;
+        live_in[b] = 0;
+        live_out[b] = 0;
+    }
+}
+
+// iterative backward liveness to a fixed point
+func liveness() {
+    var passes = 0;
+    var changed = 1;
+    while (changed) {
+        changed = 0;
+        passes = passes + 1;
+        var b;
+        for (b = nblocks - 1; b >= 0; b = b - 1) {
+            var out = 0;
+            if (blk_succ1[b] >= 0) { out = out | live_in[blk_succ1[b]]; }
+            if (blk_succ2[b] >= 0) { out = out | live_in[blk_succ2[b]]; }
+            var in = use_set[b] | (out & ~def_set[b]);
+            if (out != live_out[b] || in != live_in[b]) {
+                live_out[b] = out;
+                live_in[b] = in;
+                changed = 1;
+            }
+        }
+    }
+    return passes;
+}
+
+// remove assignments whose destination is dead at the block end
+func dce() {
+    var removed = 0;
+    var b;
+    for (b = 0; b < nblocks; b = b + 1) {
+        var live = live_out[b];
+        var i;
+        for (i = blk_end[b] - 1; i >= blk_start[b]; i = i - 1) {
+            var op = q_op[i];
+            if (op == 1 || op == 2 || op == 3) {
+                if ((live & bit(q_dst[i])) == 0) {
+                    q_op[i] = 0;            // nop it out
+                    removed = removed + 1;
+                } else {
+                    live = live & ~bit(q_dst[i]);
+                    live = live | bit(q_s1[i]);
+                    if (op != 3) { live = live | bit(q_s2[i]); }
+                }
+            }
+            if (op == 4 || op == 6) { live = live | bit(q_s1[i]); }
+        }
+    }
+    return removed;
+}
+
+// local CSE: within a block, detect repeated (op, s1, s2) triples
+func local_cse() {
+    var found = 0;
+    var b;
+    for (b = 0; b < nblocks; b = b + 1) {
+        var i;
+        for (i = blk_start[b]; i < blk_end[b]; i = i + 1) {
+            var op = q_op[i];
+            if (op != 1 && op != 2) { continue; }
+            var j;
+            for (j = i + 1; j < blk_end[b]; j = j + 1) {
+                // stop if operands are redefined
+                var jop = q_op[j];
+                if (jop == 1 || jop == 2 || jop == 3) {
+                    if (jop == op && q_s1[j] == q_s1[i] && q_s2[j] == q_s2[i]) {
+                        found = found + 1;
+                        q_op[j] = 3;        // replace with copy
+                        q_s1[j] = q_dst[i];
+                        continue;
+                    }
+                    if (q_dst[j] == q_s1[i] || q_dst[j] == q_s2[i]
+                        || q_dst[j] == q_dst[i]) { break; }
+                }
+            }
+        }
+    }
+    return found;
+}
+
+func checksum() {
+    var s = 0;
+    var i;
+    for (i = 0; i < NQ; i = i + 1) {
+        s = (s * 7 + q_op[i] * 4 + q_dst[i] + q_s1[i] * 2 + q_s2[i]) % 1000000007;
+    }
+    return s;
+}
+
+func main() {
+    var round;
+    var total_removed = 0;
+    var total_cse = 0;
+    var total_passes = 0;
+    for (round = 0; round < 4; round = round + 1) {
+        gen_quads();
+        find_blocks();
+        link_blocks();
+        compute_use_def();
+        total_passes = total_passes + liveness();
+        total_removed = total_removed + dce();
+        total_cse = total_cse + local_cse();
+    }
+    print nblocks;
+    print total_passes;
+    print total_removed;
+    print total_cse;
+    print checksum();
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="uopt",
+    language="Pascal",
+    description="the MIPS Ucode global optimizer, including the register allocator",
+    source=SOURCE,
+)

@@ -1,0 +1,365 @@
+"""upas -- the first pass of the MIPS Pascal compiler (paper Appendix).
+
+A Pascal-subset front end: scanner over generated program text,
+recursive-descent parser with full expression precedence building an AST
+into parallel arrays, a declaration symbol table with scope levels, and a
+constant-folding tree walk -- a deep, call-heavy pipeline like the real
+first pass.
+"""
+
+from repro.benchsuite.registry import Benchmark
+
+SOURCE = r"""
+// Pascal-subset first pass: scan, parse to AST, fold constants.
+array src[12000];
+var src_len = 0;
+var pos = 0;
+var tok = 0;
+var tokval = 0;
+
+var T_NUM = 1;  var T_ID = 2;   var T_PLUS = 3;  var T_MINUS = 4;
+var T_STAR = 5; var T_DIV = 6;  var T_LP = 7;    var T_RP = 8;
+var T_ASSIGN = 9; var T_SEMI = 10; var T_BEGIN = 11; var T_END = 12;
+var T_IF = 13;  var T_THEN = 14; var T_ELSE = 15; var T_WHILE = 16;
+var T_DO = 17;  var T_VAR = 18;  var T_LT = 19;   var T_EQ = 20;
+var T_EOF = 21;
+
+// AST in parallel arrays
+var N_NUM = 1;  var N_VAR = 2;  var N_BIN = 3;  var N_ASSIGN = 4;
+var N_SEQ = 5;  var N_IF = 6;   var N_WHILE = 7; var N_NOP = 8;
+array node_kind[6000];
+array node_a[6000];            // operand / left child / var id
+array node_b[6000];            // right child
+array node_c[6000];            // third child (else) / operator
+var nnodes = 1;                // node 0 = nil
+
+// symbol table with scope levels
+array scope_name[400];
+array scope_level[400];
+var scope_top = 0;
+var cur_level = 0;
+var lookups = 0;
+
+var seed = 14142;
+
+func rnd(limit) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return (seed / 65536) % limit;
+}
+
+func put(ch) { src[src_len] = ch; src_len = src_len + 1; }
+
+func putkw(a, b) { put(a); put(b); put(' '); }
+
+// program generator: var decls then nested statements
+func gen_expr(depth) {
+    if (depth > 3 || rnd(3) == 0) {
+        if (rnd(2) == 0) {
+            var n = 1 + rnd(99);
+            if (n >= 10) { put('0' + n / 10); }
+            put('0' + n % 10);
+        } else {
+            put('a' + rnd(12));
+        }
+        put(' ');
+        return 0;
+    }
+    put('(');
+    gen_expr(depth + 1);
+    var op = rnd(4);
+    if (op == 0) { put('+'); }
+    if (op == 1) { put('-'); }
+    if (op == 2) { put('*'); }
+    if (op == 3) { put('/'); }
+    gen_expr(depth + 1);
+    put(')');
+    return 0;
+}
+
+func gen_stmt(depth) {
+    var kind = rnd(6);
+    if (depth > 3) { kind = 0; }
+    if (kind <= 2) {
+        put('a' + rnd(12));
+        put(':'); put('=');
+        gen_expr(0);
+        put(';');
+        return 0;
+    }
+    if (kind == 3) {
+        putkw('i','f');
+        gen_expr(1);
+        put('<');
+        gen_expr(1);
+        putkw('t','h');
+        gen_stmt(depth + 1);
+        if (rnd(2) == 0) {
+            putkw('e','l');
+            gen_stmt(depth + 1);
+        }
+        put(';');
+        return 0;
+    }
+    if (kind == 4) {
+        putkw('w','d');
+        gen_expr(1);
+        put('<');
+        gen_expr(1);
+        putkw('d','o');
+        gen_stmt(depth + 1);
+        put(';');
+        return 0;
+    }
+    putkw('b','g');
+    var n = 1 + rnd(3);
+    var i;
+    for (i = 0; i < n; i = i + 1) { gen_stmt(depth + 1); }
+    putkw('e','n');
+    put(';');
+    return 0;
+}
+
+func next_tok() {
+    while (pos < src_len && src[pos] == ' ') { pos = pos + 1; }
+    if (pos >= src_len) { tok = T_EOF; return 0; }
+    var ch = src[pos];
+    if (ch >= '0' && ch <= '9') {
+        tokval = 0;
+        while (pos < src_len && src[pos] >= '0' && src[pos] <= '9') {
+            tokval = tokval * 10 + src[pos] - '0';
+            pos = pos + 1;
+        }
+        tok = T_NUM;
+        return 0;
+    }
+    // two-letter keywords
+    if (pos + 1 < src_len) {
+        var c2 = src[pos + 1];
+        if (ch == 'i' && c2 == 'f') { pos = pos + 2; tok = T_IF; return 0; }
+        if (ch == 't' && c2 == 'h') { pos = pos + 2; tok = T_THEN; return 0; }
+        if (ch == 'e' && c2 == 'l') { pos = pos + 2; tok = T_ELSE; return 0; }
+        if (ch == 'w' && c2 == 'd') { pos = pos + 2; tok = T_WHILE; return 0; }
+        if (ch == 'd' && c2 == 'o') { pos = pos + 2; tok = T_DO; return 0; }
+        if (ch == 'b' && c2 == 'g') { pos = pos + 2; tok = T_BEGIN; return 0; }
+        if (ch == 'e' && c2 == 'n') { pos = pos + 2; tok = T_END; return 0; }
+        if (ch == ':' && c2 == '=') { pos = pos + 2; tok = T_ASSIGN; return 0; }
+    }
+    if (ch >= 'a' && ch <= 'z') {
+        tokval = ch - 'a';
+        pos = pos + 1;
+        tok = T_ID;
+        return 0;
+    }
+    pos = pos + 1;
+    if (ch == '+') { tok = T_PLUS; return 0; }
+    if (ch == '-') { tok = T_MINUS; return 0; }
+    if (ch == '*') { tok = T_STAR; return 0; }
+    if (ch == '/') { tok = T_DIV; return 0; }
+    if (ch == '(') { tok = T_LP; return 0; }
+    if (ch == ')') { tok = T_RP; return 0; }
+    if (ch == ';') { tok = T_SEMI; return 0; }
+    if (ch == '<') { tok = T_LT; return 0; }
+    if (ch == '=') { tok = T_EQ; return 0; }
+    tok = T_EOF;
+    return 0;
+}
+
+func new_node(kind, a, b, c) {
+    node_kind[nnodes] = kind;
+    node_a[nnodes] = a;
+    node_b[nnodes] = b;
+    node_c[nnodes] = c;
+    nnodes = nnodes + 1;
+    return nnodes - 1;
+}
+
+func declare(name) {
+    scope_name[scope_top] = name;
+    scope_level[scope_top] = cur_level;
+    scope_top = scope_top + 1;
+}
+
+func resolve(name) {
+    var i;
+    for (i = scope_top - 1; i >= 0; i = i - 1) {
+        lookups = lookups + 1;
+        if (scope_name[i] == name) { return i; }
+    }
+    declare(name);            // implicit declaration at current level
+    return scope_top - 1;
+}
+
+func parse_factor() {
+    if (tok == T_NUM) {
+        var n = new_node(N_NUM, tokval, 0, 0);
+        next_tok();
+        return n;
+    }
+    if (tok == T_ID) {
+        var slot = resolve(tokval);
+        next_tok();
+        return new_node(N_VAR, slot, 0, 0);
+    }
+    if (tok == T_LP) {
+        next_tok();
+        var e = parse_expr();
+        next_tok();            // ')'
+        return e;
+    }
+    next_tok();
+    return new_node(N_NUM, 0, 0, 0);
+}
+
+func parse_term() {
+    var left = parse_factor();
+    while (tok == T_STAR || tok == T_DIV) {
+        var op = tok;
+        next_tok();
+        var right = parse_factor();
+        left = new_node(N_BIN, left, right, op);
+    }
+    return left;
+}
+
+func parse_expr() {
+    var left = parse_term();
+    while (tok == T_PLUS || tok == T_MINUS) {
+        var op = tok;
+        next_tok();
+        var right = parse_term();
+        left = new_node(N_BIN, left, right, op);
+    }
+    return left;
+}
+
+func parse_cond() {
+    var l = parse_expr();
+    var op = tok;
+    next_tok();               // '<' or '='
+    var r = parse_expr();
+    return new_node(N_BIN, l, r, op);
+}
+
+func parse_stmt() {
+    if (tok == T_ID) {
+        var slot = resolve(tokval);
+        next_tok();            // id
+        next_tok();            // ':='
+        var e = parse_expr();
+        if (tok == T_SEMI) { next_tok(); }
+        return new_node(N_ASSIGN, slot, e, 0);
+    }
+    if (tok == T_IF) {
+        next_tok();
+        var c = parse_cond();
+        next_tok();            // then
+        var t = parse_stmt();
+        var els = 0;
+        if (tok == T_ELSE) {
+            next_tok();
+            els = parse_stmt();
+        }
+        if (tok == T_SEMI) { next_tok(); }
+        return new_node(N_IF, c, t, els);
+    }
+    if (tok == T_WHILE) {
+        next_tok();
+        var wc = parse_cond();
+        next_tok();            // do
+        var body = parse_stmt();
+        if (tok == T_SEMI) { next_tok(); }
+        return new_node(N_WHILE, wc, body, 0);
+    }
+    if (tok == T_BEGIN) {
+        next_tok();
+        cur_level = cur_level + 1;
+        var seq = 0;
+        while (tok != T_END && tok != T_EOF) {
+            var s = parse_stmt();
+            seq = new_node(N_SEQ, seq, s, 0);
+        }
+        next_tok();            // end
+        if (tok == T_SEMI) { next_tok(); }
+        // pop scope entries of this level
+        while (scope_top > 0 && scope_level[scope_top - 1] == cur_level) {
+            scope_top = scope_top - 1;
+        }
+        cur_level = cur_level - 1;
+        return seq;
+    }
+    next_tok();
+    return new_node(N_NOP, 0, 0, 0);
+}
+
+// constant folding over the AST; returns number of folded nodes
+var folded = 0;
+
+func fold(n) {
+    if (n == 0) { return 0; }
+    var kind = node_kind[n];
+    if (kind == N_BIN) {
+        fold(node_a[n]);
+        fold(node_b[n]);
+        if (node_kind[node_a[n]] == N_NUM && node_kind[node_b[n]] == N_NUM) {
+            var x = node_a[node_a[n]];
+            var y = node_a[node_b[n]];
+            var op = node_c[n];
+            var v = 0;
+            if (op == T_PLUS) { v = x + y; }
+            if (op == T_MINUS) { v = x - y; }
+            if (op == T_STAR) { v = (x * y) % 100000; }
+            if (op == T_DIV) { if (y != 0) { v = x / y; } }
+            if (op == T_LT) { v = x < y; }
+            if (op == T_EQ) { v = x == y; }
+            node_kind[n] = N_NUM;
+            node_a[n] = v;
+            folded = folded + 1;
+        }
+        return 0;
+    }
+    if (kind == N_ASSIGN) { fold(node_b[n]); return 0; }
+    if (kind == N_SEQ) { fold(node_a[n]); fold(node_b[n]); return 0; }
+    if (kind == N_IF) {
+        fold(node_a[n]); fold(node_b[n]); fold(node_c[n]);
+        return 0;
+    }
+    if (kind == N_WHILE) { fold(node_a[n]); fold(node_b[n]); return 0; }
+    return 0;
+}
+
+func count_kind(n, kind) {
+    if (n == 0) { return 0; }
+    var c = 0;
+    if (node_kind[n] == kind) { c = 1; }
+    var k = node_kind[n];
+    if (k == N_BIN || k == N_SEQ || k == N_IF || k == N_WHILE) {
+        c = c + count_kind(node_a[n], kind) + count_kind(node_b[n], kind);
+        if (k == N_IF) { c = c + count_kind(node_c[n], kind); }
+    }
+    if (k == N_ASSIGN) { c = c + count_kind(node_b[n], kind); }
+    return c;
+}
+
+func main() {
+    putkw('b','g');
+    var k;
+    for (k = 0; k < 25; k = k + 1) { gen_stmt(0); }
+    putkw('e','n');
+    print src_len;
+    next_tok();
+    var root = parse_stmt();
+    print nnodes;
+    print lookups;
+    fold(root);
+    print folded;
+    print count_kind(root, N_NUM);
+    print count_kind(root, N_BIN);
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="upas",
+    language="Pascal",
+    description="first pass of the MIPS Pascal compiler",
+    source=SOURCE,
+)

@@ -1,0 +1,57 @@
+"""Benchmark registry.
+
+Benchmarks appear in the paper's Table 1 order (increasing source size).
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One benchmark program.
+
+    ``name``/``description`` mirror the paper's Appendix; ``language``
+    records which original language the analogue stands in for.
+    """
+
+    name: str
+    language: str
+    description: str
+    source: str
+
+
+_MODULES = [
+    "nim",
+    "map4",
+    "calcc",
+    "diff",
+    "dhrystone",
+    "stanford",
+    "pf",
+    "awk",
+    "tex",
+    "ccom",
+    "as1",
+    "upas",
+    "uopt",
+]
+
+
+def load_benchmarks() -> Dict[str, Benchmark]:
+    """Import every benchmark module and return them in suite order."""
+    out: Dict[str, Benchmark] = {}
+    for mod_name in _MODULES:
+        module = importlib.import_module(
+            f"repro.benchsuite.programs.{mod_name}"
+        )
+        bench: Benchmark = module.BENCHMARK
+        out[bench.name] = bench
+    return out
+
+
+def benchmark_names() -> List[str]:
+    return [m if m != "map4" else "map" for m in _MODULES]

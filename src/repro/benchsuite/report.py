@@ -1,0 +1,81 @@
+"""Command-line report generator.
+
+Usage::
+
+    python -m repro.benchsuite.report table1 [names...]
+    python -m repro.benchsuite.report table2 [names...]
+    python -m repro.benchsuite.report extensions [names...]
+    python -m repro.benchsuite.report all
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List, Optional
+
+from repro.benchsuite.harness import (
+    format_table1,
+    format_table2,
+    run_suite,
+    TABLE1_CONFIGS,
+    TABLE2_CONFIGS,
+)
+from repro.benchsuite.registry import load_benchmarks
+from repro.pipeline.driver import compile_program
+from repro.pipeline.options import O3_SW
+from repro.pipeline.profile import collect_block_profile, profile_guided_options
+from repro.sim.stats import percent_reduction
+
+
+def format_extensions(names=None) -> str:
+    """Extra table: scalar-traffic reduction of the two extensions over
+    plain -O3+SW, on the benchmark suite."""
+    benches = load_benchmarks()
+    selected = list(names) if names else list(benches)
+    lines = [
+        "Extensions: % further reduction in scalar loads/stores vs -O3+SW",
+        f"{'program':<10s} {'modref':>9s} {'profile':>9s}",
+        "-" * 30,
+    ]
+    for name in selected:
+        src = benches[name].source
+        base = compile_program(src, O3_SW).run()
+        modref = compile_program(
+            src, O3_SW.with_(ipra_globals=True)
+        ).run()
+        profile = collect_block_profile(src, O3_SW)
+        tuned = compile_program(
+            src, profile_guided_options(O3_SW, profile)
+        ).run()
+        assert base.output == modref.output == tuned.output
+        lines.append(
+            f"{name:<10s} "
+            f"{percent_reduction(base.scalar_memops, modref.scalar_memops):>8.1f}% "
+            f"{percent_reduction(base.scalar_memops, tuned.scalar_memops):>8.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    which = args[0] if args else "all"
+    names = args[1:] or None
+    t0 = time.time()
+    if which in ("table1", "all"):
+        results = run_suite(TABLE1_CONFIGS, names)
+        print(format_table1(results))
+        print()
+    if which in ("table2", "all"):
+        results = run_suite(TABLE2_CONFIGS, names)
+        print(format_table2(results))
+        print()
+    if which in ("extensions",):
+        print(format_extensions(names))
+        print()
+    print(f"[generated in {time.time() - t0:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+"""Control-flow graphs, dominators, and natural loops."""
+
+from repro.cfg.cfg import CFG, build_cfg
+from repro.cfg.dominance import (
+    dominates,
+    dominator_tree_children,
+    immediate_dominators,
+)
+from repro.cfg.loops import Loop, LoopInfo, find_loops, WEIGHT_BASE
+
+__all__ = [
+    "CFG",
+    "build_cfg",
+    "dominates",
+    "dominator_tree_children",
+    "immediate_dominators",
+    "Loop",
+    "LoopInfo",
+    "find_loops",
+    "WEIGHT_BASE",
+]

@@ -1,0 +1,65 @@
+"""Dominator computation (Cooper-Harvey-Kennedy iterative algorithm)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cfg.cfg import CFG
+
+
+def immediate_dominators(cfg: CFG) -> List[Optional[int]]:
+    """``idom[b]`` for every block; the entry's idom is itself.
+
+    Unreachable blocks cannot occur (build_cfg removes them).
+    """
+    rpo = cfg.reverse_postorder()
+    order_index = {b: i for i, b in enumerate(rpo)}
+    idom: List[Optional[int]] = [None] * cfg.num_blocks
+    idom[cfg.entry] = cfg.entry
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while order_index[a] > order_index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while order_index[b] > order_index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for b in rpo:
+            if b == cfg.entry:
+                continue
+            new_idom: Optional[int] = None
+            for p in cfg.preds[b]:
+                if idom[p] is None:
+                    continue
+                new_idom = p if new_idom is None else intersect(p, new_idom)
+            if new_idom is not None and idom[b] != new_idom:
+                idom[b] = new_idom
+                changed = True
+    return idom
+
+
+def dominates(idom: List[Optional[int]], a: int, b: int, entry: int = 0) -> bool:
+    """True if ``a`` dominates ``b`` (reflexive)."""
+    node = b
+    while True:
+        if node == a:
+            return True
+        if node == entry:
+            return a == entry
+        parent = idom[node]
+        if parent is None or parent == node:
+            return a == node
+        node = parent
+
+
+def dominator_tree_children(idom: List[Optional[int]]) -> Dict[int, List[int]]:
+    children: Dict[int, List[int]] = {}
+    for b, d in enumerate(idom):
+        if d is None or d == b:
+            continue
+        children.setdefault(d, []).append(b)
+    return children

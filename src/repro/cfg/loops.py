@@ -1,0 +1,73 @@
+"""Natural-loop detection and loop-nesting depth.
+
+Two clients need loops:
+
+* the register allocator weights references by ``WEIGHT_BASE ** depth``
+  (the classic priority-coloring frequency estimate), and
+* shrink-wrapping must smear a register's APP attribute over any loop that
+  contains a use, so saves/restores never execute once per iteration
+  (Section 5 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.cfg.cfg import CFG
+from repro.cfg.dominance import dominates, immediate_dominators
+
+#: Estimated iteration count per loop level for priority weighting.
+WEIGHT_BASE = 10
+#: Depth cap so weights stay bounded for pathological nests.
+MAX_WEIGHT_DEPTH = 6
+
+
+@dataclass
+class Loop:
+    """One natural loop: header plus body (header included)."""
+
+    header: int
+    body: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class LoopInfo:
+    loops: List[Loop] = field(default_factory=list)
+    depth: List[int] = field(default_factory=list)   # per block id
+
+    def weight(self, block_id: int) -> int:
+        d = min(self.depth[block_id], MAX_WEIGHT_DEPTH)
+        return WEIGHT_BASE ** d
+
+
+def find_loops(cfg: CFG) -> LoopInfo:
+    """Find natural loops from back edges (tail -> dominating header).
+
+    Loops sharing a header are merged, matching the usual definition.
+    Irreducible cycles have no back edge under dominance and are simply
+    not counted as loops -- safe for both clients (weights stay low and
+    shrink-wrap smearing falls back to correctness-by-verification).
+    """
+    idom = immediate_dominators(cfg)
+    by_header: Dict[int, Set[int]] = {}
+    for tail in range(cfg.num_blocks):
+        for head in cfg.succs[tail]:
+            if dominates(idom, head, tail, cfg.entry):
+                body = by_header.setdefault(head, {head})
+                # walk predecessors backwards from the tail until the header
+                work = [tail]
+                while work:
+                    node = work.pop()
+                    if node in body:
+                        continue
+                    body.add(node)
+                    work.extend(cfg.preds[node])
+
+    info = LoopInfo(depth=[0] * cfg.num_blocks)
+    for header, body in sorted(by_header.items()):
+        info.loops.append(Loop(header=header, body=body))
+    for loop in info.loops:
+        for b in loop.body:
+            info.depth[b] += 1
+    return info

@@ -1,0 +1,21 @@
+"""Iterative dataflow: generic framework, liveness, ANT/AV."""
+
+from repro.dataflow.antav import AntAv, solve_ant_av
+from repro.dataflow.framework import DataflowProblem, solve
+from repro.dataflow.liveness import (
+    Liveness,
+    compute_liveness,
+    instruction_live_sets,
+    live_across_calls,
+)
+
+__all__ = [
+    "AntAv",
+    "solve_ant_av",
+    "DataflowProblem",
+    "solve",
+    "Liveness",
+    "compute_liveness",
+    "instruction_live_sets",
+    "live_across_calls",
+]

@@ -1,0 +1,70 @@
+"""Anticipability (ANT) and availability (AV) of register uses.
+
+These are the paper's equations (3.1)-(3.4), solved over int bitmasks (one
+bit per machine register, the paper's "word of storage"):
+
+    ANTOUT_i = false                      if i is an exit
+             = AND_{j in succ(i)} ANTIN_j  otherwise            (3.1)
+    ANTIN_i  = APP_i  OR  ANTOUT_i                              (3.2)
+    AVIN_i   = false                      if i is the entry
+             = AND_{j in pred(i)} AVOUT_j  otherwise            (3.3)
+    AVOUT_i  = APP_i  OR  AVIN_i                                (3.4)
+
+The paper's (3.3) reads "if i is an exit", an evident typo: availability
+accumulates along forward paths so its boundary is the entry block
+(cf. Morel-Renvoise); we implement the corrected form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.cfg.cfg import CFG
+from repro.dataflow.framework import DataflowProblem, solve
+
+
+@dataclass
+class AntAv:
+    """Solved ANT/AV attributes, one bitmask per block."""
+
+    antin: List[int]
+    antout: List[int]
+    avin: List[int]
+    avout: List[int]
+
+
+def solve_ant_av(cfg: CFG, app: Sequence[int], all_mask: int) -> AntAv:
+    """Solve the four attributes for APP masks ``app`` over ``cfg``.
+
+    ``all_mask`` is the top element (all registers of interest).
+    """
+    app = list(app)
+
+    # ANT: backward, meet = AND, boundary (at exits) = 0
+    def ant_transfer(b: int, antout: int) -> int:
+        return app[b] | antout
+
+    ant_problem: DataflowProblem[int] = DataflowProblem(
+        forward=False,
+        top=all_mask,
+        boundary=0,
+        meet=lambda a, b: a & b,
+        transfer=ant_transfer,
+    )
+    antin, antout = solve(cfg, ant_problem)
+
+    # AV: forward, meet = AND, boundary (at entry) = 0
+    def av_transfer(b: int, avin: int) -> int:
+        return app[b] | avin
+
+    av_problem: DataflowProblem[int] = DataflowProblem(
+        forward=True,
+        top=all_mask,
+        boundary=0,
+        meet=lambda a, b: a & b,
+        transfer=av_transfer,
+    )
+    avin, avout = solve(cfg, av_problem)
+
+    return AntAv(antin=antin, antout=antout, avin=avin, avout=avout)

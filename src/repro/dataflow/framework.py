@@ -1,0 +1,86 @@
+"""A small generic iterative dataflow framework.
+
+Problems are described by direction, meet, transfer and boundary values.
+Values may be any lattice elements with equality -- Python sets for
+liveness, int bitmasks for the shrink-wrap ANT/AV problems.  The solver
+iterates to a fixed point in reverse postorder (forward problems) or its
+reverse (backward problems), which converges in a handful of passes for
+reducible flow graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, List, Tuple, TypeVar
+
+from repro.cfg.cfg import CFG
+
+T = TypeVar("T")
+
+
+@dataclass
+class DataflowProblem(Generic[T]):
+    """Specification of an iterative dataflow problem.
+
+    ``transfer(block_id, in_value) -> out_value`` must be monotone.
+    ``meet`` combines edge values; ``top`` is the initial optimistic value
+    and ``boundary`` the value at the entry (forward) or exits (backward).
+    """
+
+    forward: bool
+    top: T
+    boundary: T
+    meet: Callable[[T, T], T]
+    transfer: Callable[[int, T], T]
+
+
+def solve(cfg: CFG, problem: DataflowProblem[T]) -> Tuple[List[T], List[T]]:
+    """Solve to fixed point; returns (in_values, out_values) per block.
+
+    For backward problems the "in" of a block is its value at block entry
+    and "out" at block exit, same as forward -- only the propagation
+    direction differs.
+    """
+    n = cfg.num_blocks
+    in_vals: List[T] = [problem.top] * n
+    out_vals: List[T] = [problem.top] * n
+    rpo = cfg.reverse_postorder()
+    order = rpo if problem.forward else list(reversed(rpo))
+    exits = set(cfg.exits())
+
+    changed = True
+    iterations = 0
+    while changed:
+        changed = False
+        iterations += 1
+        if iterations > 4 * n + 8:  # pragma: no cover - safety net
+            raise RuntimeError("dataflow failed to converge")
+        for b in order:
+            if problem.forward:
+                if b == cfg.entry:
+                    new_in = problem.boundary
+                else:
+                    preds = cfg.preds[b]
+                    new_in = problem.top
+                    for p in preds:
+                        new_in = problem.meet(new_in, out_vals[p])
+                new_out = problem.transfer(b, new_in)
+                if new_in != in_vals[b] or new_out != out_vals[b]:
+                    in_vals[b] = new_in
+                    out_vals[b] = new_out
+                    changed = True
+            else:
+                if b in exits and not cfg.succs[b]:
+                    new_out = problem.boundary
+                else:
+                    new_out = problem.top
+                    for s in cfg.succs[b]:
+                        new_out = problem.meet(new_out, in_vals[s])
+                    if b in exits:
+                        new_out = problem.meet(new_out, problem.boundary)
+                new_in = problem.transfer(b, new_out)
+                if new_in != in_vals[b] or new_out != out_vals[b]:
+                    in_vals[b] = new_in
+                    out_vals[b] = new_out
+                    changed = True
+    return in_vals, out_vals

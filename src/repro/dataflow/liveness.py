@@ -1,0 +1,125 @@
+"""Liveness of virtual registers.
+
+Block-level live-in/live-out sets drive live-range construction; the
+backward per-instruction walk (:func:`instruction_live_sets`) drives
+interference edges and the code generator's caller-save decisions.
+
+Global scalars that are register-allocation candidates (call-free
+procedures -- see ``repro.regalloc.candidates``) are pinned live at every
+exit and treated as defined at entry, modelling the load-at-entry /
+store-at-exit strategy for register-resident globals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
+
+from repro.cfg.cfg import CFG
+from repro.dataflow.framework import DataflowProblem, solve
+from repro.ir.function import BasicBlock
+from repro.ir.instructions import IRInstr
+from repro.ir.values import VReg
+
+
+@dataclass
+class Liveness:
+    cfg: CFG
+    live_in: List[FrozenSet[VReg]] = field(default_factory=list)
+    live_out: List[FrozenSet[VReg]] = field(default_factory=list)
+    use: List[FrozenSet[VReg]] = field(default_factory=list)
+    defs: List[FrozenSet[VReg]] = field(default_factory=list)
+
+
+def _block_use_def(block: BasicBlock) -> Tuple[Set[VReg], Set[VReg]]:
+    """Upward-exposed uses and defs of one block."""
+    use: Set[VReg] = set()
+    defs: Set[VReg] = set()
+    for ins in block.instrs:
+        for v in ins.use_vregs():
+            if v not in defs:
+                use.add(v)
+        for d in ins.defs():
+            defs.add(d)
+    for v in block.terminator.use_vregs():
+        if v not in defs:
+            use.add(v)
+    return use, defs
+
+
+def compute_liveness(
+    cfg: CFG, exit_live: Sequence[VReg] = ()
+) -> Liveness:
+    """Backward liveness over ``cfg``.
+
+    ``exit_live`` names vregs considered live at every return (used for
+    register-candidate globals, which must survive to the exit store).
+    """
+    n = cfg.num_blocks
+    use_sets: List[FrozenSet[VReg]] = []
+    def_sets: List[FrozenSet[VReg]] = []
+    for block in cfg.blocks:
+        u, d = _block_use_def(block)
+        use_sets.append(frozenset(u))
+        def_sets.append(frozenset(d))
+
+    boundary = frozenset(exit_live)
+
+    def transfer(b: int, out_val: FrozenSet[VReg]) -> FrozenSet[VReg]:
+        return use_sets[b] | (out_val - def_sets[b])
+
+    problem: DataflowProblem[FrozenSet[VReg]] = DataflowProblem(
+        forward=False,
+        top=frozenset(),
+        boundary=boundary,
+        meet=lambda a, b: a | b,
+        transfer=transfer,
+    )
+    in_vals, out_vals = solve(cfg, problem)
+    return Liveness(
+        cfg=cfg,
+        live_in=in_vals,
+        live_out=out_vals,
+        use=use_sets,
+        defs=def_sets,
+    )
+
+
+def instruction_live_sets(
+    block: BasicBlock, live_out: FrozenSet[VReg]
+) -> Iterator[Tuple[IRInstr, Set[VReg], Set[VReg]]]:
+    """Yield ``(instr, live_before, live_after)`` for each instruction of
+    ``block`` in *reverse* order, starting from the block's live-out set.
+
+    The terminator's uses are folded into the initial live set.
+    """
+    live: Set[VReg] = set(live_out)
+    live.update(block.terminator.use_vregs())
+    for ins in reversed(block.instrs):
+        live_after = set(live)
+        for d in ins.defs():
+            live.discard(d)
+        live.update(ins.use_vregs())
+        yield ins, set(live), live_after
+
+
+def live_across_calls(
+    cfg: CFG, liveness: Liveness
+) -> Dict[int, List[Tuple[IRInstr, Set[VReg]]]]:
+    """Per block: each call instruction with the set of vregs live across
+    it (live after the call, excluding the call's own result)."""
+    result: Dict[int, List[Tuple[IRInstr, Set[VReg]]]] = {}
+    for b, block in enumerate(cfg.blocks):
+        calls: List[Tuple[IRInstr, Set[VReg]]] = []
+        for ins, live_before, live_after in instruction_live_sets(
+            block, liveness.live_out[b]
+        ):
+            if ins.is_call:
+                across = live_after - set(ins.defs())
+                # a value is live *across* only if it also existed before
+                across &= live_before | set()
+                calls.append((ins, across))
+        if calls:
+            calls.reverse()
+            result[b] = calls
+    return result

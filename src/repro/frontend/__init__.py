@@ -1,0 +1,27 @@
+"""MiniC front end: lexer, parser, AST, semantic analysis."""
+
+from repro.frontend.errors import (
+    CompileError,
+    LexError,
+    LinkError,
+    ParseError,
+    SemanticError,
+)
+from repro.frontend.lexer import Token, TokKind, tokenize
+from repro.frontend.parser import parse
+from repro.frontend.semantics import FunctionInfo, ModuleInfo, analyze
+
+__all__ = [
+    "CompileError",
+    "LexError",
+    "LinkError",
+    "ParseError",
+    "SemanticError",
+    "Token",
+    "TokKind",
+    "tokenize",
+    "parse",
+    "FunctionInfo",
+    "ModuleInfo",
+    "analyze",
+]

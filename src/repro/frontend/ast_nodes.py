@@ -1,0 +1,204 @@
+"""Abstract syntax tree for MiniC.
+
+The AST is deliberately small: every value is a machine word, and the only
+aggregate is the global (or local) array.  Function pointers are words
+holding a function id; calling through a variable is an indirect call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """``name[index]`` -- array element read."""
+
+    name: str = ""
+    index: Optional[Expr] = None
+
+
+@dataclass
+class UnOp(Expr):
+    op: str = ""          # one of: - ! ~
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class BinOp(Expr):
+    op: str = ""          # + - * / % & | ^ << >> < <= > >= == != && ||
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    """``callee(args...)``.
+
+    The parser cannot tell direct from indirect calls; semantic analysis
+    sets ``indirect`` when ``callee`` names a variable rather than a
+    function.
+    """
+
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+    indirect: bool = False
+
+
+@dataclass
+class FuncRef(Expr):
+    """``&name`` -- the address (function id) of a procedure."""
+
+    name: str = ""
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class LocalVar(Stmt):
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class LocalArray(Stmt):
+    name: str = ""
+    size: int = 0
+
+
+@dataclass
+class Assign(Stmt):
+    name: str = ""
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ArrayAssign(Stmt):
+    name: str = ""
+    index: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then: Optional[Block] = None
+    orelse: Optional[Stmt] = None   # Block or nested If (else-if chain)
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Block] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None     # Assign or LocalVar or None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None     # Assign or None
+    body: Optional[Block] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Print(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# --------------------------------------------------------------------------
+# Top-level declarations
+# --------------------------------------------------------------------------
+
+@dataclass
+class GlobalVar(Node):
+    name: str = ""
+    init: int = 0
+
+
+@dataclass
+class ArrayDecl(Node):
+    name: str = ""
+    size: int = 0
+
+
+@dataclass
+class ExternFunc(Node):
+    """``extern func name(arity);`` -- a procedure defined in another module."""
+
+    name: str = ""
+    arity: int = 0
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    body: Optional[Block] = None
+
+
+@dataclass
+class Module(Node):
+    """One compilation unit."""
+
+    name: str = "module"
+    globals: List[GlobalVar] = field(default_factory=list)
+    arrays: List[ArrayDecl] = field(default_factory=list)
+    externs: List[ExternFunc] = field(default_factory=list)
+    functions: List[FuncDecl] = field(default_factory=list)

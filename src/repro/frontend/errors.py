@@ -1,0 +1,31 @@
+"""Diagnostics for the MiniC front end."""
+
+from __future__ import annotations
+
+
+class CompileError(Exception):
+    """Base class for all user-facing compilation errors."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        self.message = message
+        self.line = line
+        self.col = col
+        loc = f"{line}:{col}: " if line else ""
+        super().__init__(f"{loc}{message}")
+
+
+class LexError(CompileError):
+    """Invalid character or malformed token."""
+
+
+class ParseError(CompileError):
+    """Syntactically invalid program."""
+
+
+class SemanticError(CompileError):
+    """Well-formed syntax with an invalid meaning (undefined names, arity
+    mismatches, duplicate definitions, ...)."""
+
+
+class LinkError(CompileError):
+    """Unresolved or duplicate symbols when linking modules."""

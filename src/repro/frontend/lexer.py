@@ -1,0 +1,151 @@
+"""Lexer for MiniC, the paper-reproduction source language.
+
+MiniC is a small C-like language: one data type (the machine word),
+global scalars and arrays, procedures with value parameters, recursion,
+and function pointers (``&name`` / calls through variables).  It is rich
+enough to express the paper's 13 benchmark programs while keeping the
+compiler focused on the register-allocation work the paper studies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.frontend.errors import LexError
+
+
+class TokKind(enum.Enum):
+    INT = "int"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "var", "array", "func", "extern", "if", "else", "while", "for",
+        "return", "print", "break", "continue",
+    }
+)
+
+# Longest-match punctuation, sorted by length at build time.
+PUNCTUATION = (
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    value: int
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.kind.value}, {self.text!r} @{self.line}:{self.col})"
+
+
+_ESCAPES = {"n": 10, "t": 9, "0": 0, "'": 39, "\\": 92, '"': 34, "r": 13}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` into a list ending with an EOF token."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def err(msg: str) -> LexError:
+        return LexError(msg, line, col)
+
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if c in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if c == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if c == "/" and i + 1 < n and source[i + 1] == "*":
+            i += 2
+            col += 2
+            while i + 1 < n and not (source[i] == "*" and source[i + 1] == "/"):
+                if source[i] == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+                i += 1
+            if i + 1 >= n:
+                raise err("unterminated block comment")
+            i += 2
+            col += 2
+            continue
+        start_col = col
+        if c.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            text = source[i:j]
+            yield Token(TokKind.INT, text, int(text), line, start_col)
+            col += j - i
+            i = j
+            continue
+        if c == "'":
+            # character literal -> integer value
+            if i + 1 >= n:
+                raise err("unterminated character literal")
+            if source[i + 1] == "\\":
+                if i + 3 >= n or source[i + 3] != "'":
+                    raise err("malformed character escape")
+                esc = source[i + 2]
+                if esc not in _ESCAPES:
+                    raise err(f"unknown escape '\\{esc}'")
+                yield Token(TokKind.INT, source[i:i + 4], _ESCAPES[esc], line, start_col)
+                i += 4
+                col += 4
+            else:
+                if i + 2 >= n or source[i + 2] != "'":
+                    raise err("unterminated character literal")
+                yield Token(TokKind.INT, source[i:i + 3], ord(source[i + 1]), line, start_col)
+                i += 3
+                col += 3
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = TokKind.KEYWORD if text in KEYWORDS else TokKind.IDENT
+            yield Token(kind, text, 0, line, start_col)
+            col += j - i
+            i = j
+            continue
+        matched = None
+        for p in PUNCTUATION:
+            if source.startswith(p, i):
+                matched = p
+                break
+        if matched is None:
+            raise err(f"unexpected character {c!r}")
+        yield Token(TokKind.PUNCT, matched, 0, line, start_col)
+        i += len(matched)
+        col += len(matched)
+    yield Token(TokKind.EOF, "", 0, line, col)

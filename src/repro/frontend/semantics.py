@@ -1,0 +1,260 @@
+"""Semantic analysis for MiniC.
+
+Resolves names, checks arities and duplicate definitions, classifies calls
+as direct or indirect, and records which procedures have their address
+taken (the seed of the paper's *open procedure* classification: an
+address-taken procedure can be called indirectly, so its register usage can
+never be summarised for its callers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.errors import SemanticError
+
+
+@dataclass
+class FunctionInfo:
+    """Resolved facts about one procedure."""
+
+    name: str
+    params: List[str]
+    locals: List[str] = field(default_factory=list)       # excludes params
+    local_arrays: Dict[str, int] = field(default_factory=dict)
+    direct_callees: Set[str] = field(default_factory=set)
+    has_indirect_call: bool = False
+    decl: Optional[ast.FuncDecl] = None
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+
+@dataclass
+class ModuleInfo:
+    """Resolved facts about one compilation unit."""
+
+    name: str
+    module: ast.Module
+    globals: Dict[str, int] = field(default_factory=dict)   # name -> init
+    arrays: Dict[str, int] = field(default_factory=dict)    # name -> size
+    externs: Dict[str, int] = field(default_factory=dict)   # name -> arity
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    address_taken: Set[str] = field(default_factory=set)
+
+    def function_arity(self, name: str) -> Optional[int]:
+        if name in self.functions:
+            return self.functions[name].arity
+        if name in self.externs:
+            return self.externs[name]
+        return None
+
+
+class _FunctionChecker:
+    """Walks one function body resolving names against the module scope."""
+
+    def __init__(self, minfo: ModuleInfo, finfo: FunctionInfo):
+        self.minfo = minfo
+        self.finfo = finfo
+        self.scope: Set[str] = set(finfo.params)
+        self.loop_depth = 0
+
+    def err(self, msg: str, node: ast.Node) -> SemanticError:
+        return SemanticError(f"in func {self.finfo.name}: {msg}", node.line)
+
+    # -- declarations --------------------------------------------------------
+
+    def declare_local(self, node: ast.LocalVar) -> None:
+        name = node.name
+        if name in self.scope or name in self.finfo.local_arrays:
+            raise self.err(f"duplicate local {name!r}", node)
+        self.scope.add(name)
+        self.finfo.locals.append(name)
+
+    def declare_local_array(self, node: ast.LocalArray) -> None:
+        name = node.name
+        if name in self.scope or name in self.finfo.local_arrays:
+            raise self.err(f"duplicate local {name!r}", node)
+        if node.size <= 0:
+            raise self.err(f"array {name!r} must have positive size", node)
+        self.finfo.local_arrays[name] = node.size
+
+    # -- name classification -------------------------------------------------
+
+    def is_scalar(self, name: str) -> bool:
+        return name in self.scope or name in self.minfo.globals
+
+    def is_array(self, name: str) -> bool:
+        return name in self.finfo.local_arrays or name in self.minfo.arrays
+
+    def is_function(self, name: str) -> bool:
+        return name in self.minfo.functions or name in self.minfo.externs
+
+    # -- statements ----------------------------------------------------------
+
+    def check_block(self, block: ast.Block) -> None:
+        for stmt in block.stmts:
+            self.check_stmt(stmt)
+
+    def check_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.LocalVar):
+            if stmt.init is not None:
+                self.check_expr(stmt.init)
+            self.declare_local(stmt)
+        elif isinstance(stmt, ast.LocalArray):
+            self.declare_local_array(stmt)
+        elif isinstance(stmt, ast.Assign):
+            if not self.is_scalar(stmt.name):
+                if self.is_array(stmt.name):
+                    raise self.err(
+                        f"cannot assign to array {stmt.name!r} without index",
+                        stmt,
+                    )
+                raise self.err(f"undefined variable {stmt.name!r}", stmt)
+            self.check_expr(stmt.value)
+        elif isinstance(stmt, ast.ArrayAssign):
+            if not self.is_array(stmt.name):
+                raise self.err(f"undefined array {stmt.name!r}", stmt)
+            self.check_expr(stmt.index)
+            self.check_expr(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self.check_expr(stmt.cond)
+            self.check_block(stmt.then)
+            if stmt.orelse is not None:
+                self.check_stmt(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.check_expr(stmt.cond)
+            self.loop_depth += 1
+            self.check_block(stmt.body)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self.check_stmt(stmt.init)
+            if stmt.cond is not None:
+                self.check_expr(stmt.cond)
+            self.loop_depth += 1
+            self.check_block(stmt.body)
+            if stmt.step is not None:
+                self.check_stmt(stmt.step)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.check_expr(stmt.value)
+        elif isinstance(stmt, ast.Print):
+            self.check_expr(stmt.value)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.check_expr(stmt.expr)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self.loop_depth == 0:
+                kw = "break" if isinstance(stmt, ast.Break) else "continue"
+                raise self.err(f"{kw} outside of a loop", stmt)
+        elif isinstance(stmt, ast.Block):
+            self.check_block(stmt)
+        else:  # pragma: no cover - exhaustive
+            raise AssertionError(f"unknown statement {stmt!r}")
+
+    # -- expressions ---------------------------------------------------------
+
+    def check_expr(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.IntLit):
+            return
+        if isinstance(expr, ast.VarRef):
+            if not self.is_scalar(expr.name):
+                if self.is_array(expr.name):
+                    raise self.err(
+                        f"array {expr.name!r} used without index", expr
+                    )
+                if self.is_function(expr.name):
+                    raise self.err(
+                        f"function {expr.name!r} used as a value; use "
+                        f"&{expr.name}", expr
+                    )
+                raise self.err(f"undefined variable {expr.name!r}", expr)
+            return
+        if isinstance(expr, ast.Index):
+            if not self.is_array(expr.name):
+                raise self.err(f"undefined array {expr.name!r}", expr)
+            self.check_expr(expr.index)
+            return
+        if isinstance(expr, ast.UnOp):
+            self.check_expr(expr.operand)
+            return
+        if isinstance(expr, ast.BinOp):
+            self.check_expr(expr.left)
+            self.check_expr(expr.right)
+            return
+        if isinstance(expr, ast.Call):
+            for arg in expr.args:
+                self.check_expr(arg)
+            name = expr.callee
+            if self.is_scalar(name):
+                expr.indirect = True
+                self.finfo.has_indirect_call = True
+                return
+            arity = self.minfo.function_arity(name)
+            if arity is None:
+                raise self.err(f"call to undefined function {name!r}", expr)
+            if arity != len(expr.args):
+                raise self.err(
+                    f"function {name!r} expects {arity} argument(s), "
+                    f"got {len(expr.args)}", expr
+                )
+            self.finfo.direct_callees.add(name)
+            return
+        if isinstance(expr, ast.FuncRef):
+            if not self.is_function(expr.name):
+                raise self.err(
+                    f"&{expr.name}: {expr.name!r} is not a function", expr
+                )
+            self.minfo.address_taken.add(expr.name)
+            return
+        raise AssertionError(f"unknown expression {expr!r}")  # pragma: no cover
+
+
+def analyze(module: ast.Module) -> ModuleInfo:
+    """Check ``module`` and return its resolved :class:`ModuleInfo`.
+
+    Raises :class:`~repro.frontend.errors.SemanticError` on any violation.
+    """
+    minfo = ModuleInfo(name=module.name, module=module)
+    taken: Set[str] = set()
+
+    for g in module.globals:
+        if g.name in taken:
+            raise SemanticError(f"duplicate global {g.name!r}", g.line)
+        taken.add(g.name)
+        minfo.globals[g.name] = g.init
+    for a in module.arrays:
+        if a.name in taken:
+            raise SemanticError(f"duplicate global {a.name!r}", a.line)
+        if a.size <= 0:
+            raise SemanticError(
+                f"array {a.name!r} must have positive size", a.line
+            )
+        taken.add(a.name)
+        minfo.arrays[a.name] = a.size
+    for e in module.externs:
+        if e.name in taken:
+            raise SemanticError(f"duplicate declaration {e.name!r}", e.line)
+        taken.add(e.name)
+        minfo.externs[e.name] = e.arity
+    for f in module.functions:
+        if f.name in taken:
+            raise SemanticError(f"duplicate function {f.name!r}", f.line)
+        taken.add(f.name)
+        if len(set(f.params)) != len(f.params):
+            raise SemanticError(
+                f"duplicate parameter name in {f.name!r}", f.line
+            )
+        minfo.functions[f.name] = FunctionInfo(
+            name=f.name, params=list(f.params), decl=f
+        )
+
+    for f in module.functions:
+        checker = _FunctionChecker(minfo, minfo.functions[f.name])
+        checker.check_block(f.body)
+
+    return minfo

@@ -1,0 +1,31 @@
+"""Inter-procedural register allocation (the paper's core contribution)."""
+
+from repro.interproc.allocator import (
+    FnPlan,
+    PlanOptions,
+    ProgramPlan,
+    plan_function,
+    plan_program,
+)
+from repro.interproc.callgraph import CallGraph, build_call_graph, dfs_postorder
+from repro.interproc.summaries import (
+    ParamSpec,
+    ProcSummary,
+    default_param_specs,
+    default_summary,
+)
+
+__all__ = [
+    "FnPlan",
+    "PlanOptions",
+    "ProgramPlan",
+    "plan_function",
+    "plan_program",
+    "CallGraph",
+    "build_call_graph",
+    "dfs_postorder",
+    "ParamSpec",
+    "ProcSummary",
+    "default_param_specs",
+    "default_summary",
+]

@@ -1,0 +1,78 @@
+"""Subtree mod/ref summaries for global scalars (extension).
+
+Wall's link-time allocator keeps globals in registers program-wide; the
+paper deliberately keeps globals per-procedure so allocation stays
+one-pass.  This extension recovers part of Wall's benefit inside the
+one-pass framework: alongside the register-usage summary, every closed
+procedure also exports the set of global scalars its call subtree may
+read or write.  A caller may then keep a global register-cached *across*
+a call whose subtree provably never touches it (load at entry, store at
+exit, save/restore around clobbering calls handled by the ordinary
+machinery).
+
+Open procedures, externs and indirect calls export "may touch anything",
+so the analysis degrades safely under incomplete information -- the same
+philosophy as the paper's Section 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set
+
+from repro.ir.function import IRFunction
+from repro.ir.instructions import Call, CallInd
+from repro.ir.values import VKind
+
+#: sentinel: the subtree may touch any global
+TOUCHES_ALL: Optional[FrozenSet[str]] = None
+
+
+def own_global_refs(fn: IRFunction) -> Set[str]:
+    """Global scalars this procedure itself reads or writes."""
+    refs: Set[str] = set()
+    for v in fn.vregs:
+        if v.kind is VKind.GLOBAL:
+            refs.add(v.name)
+    return refs
+
+
+def subtree_global_refs(
+    fn: IRFunction,
+    known: Dict[str, Optional[FrozenSet[str]]],
+) -> Optional[FrozenSet[str]]:
+    """Globals the whole call subtree of ``fn`` may touch.
+
+    ``known`` maps already-processed procedures to their subtree refs
+    (None meaning "anything").  Unknown callees (recursion cycles,
+    externs) and indirect calls yield ``TOUCHES_ALL``.
+    """
+    refs = set(own_global_refs(fn))
+    for ins in fn.instructions():
+        if isinstance(ins, CallInd):
+            return TOUCHES_ALL
+        if isinstance(ins, Call):
+            callee = known.get(ins.func, TOUCHES_ALL)
+            if callee is TOUCHES_ALL:
+                return TOUCHES_ALL
+            refs.update(callee)
+    return frozenset(refs)
+
+
+def cacheable_globals(
+    fn: IRFunction,
+    known: Dict[str, Optional[FrozenSet[str]]],
+) -> Set[str]:
+    """Globals that may stay register-resident across every call in
+    ``fn``: referenced here, untouched by every callee subtree."""
+    if not fn.has_calls():
+        return own_global_refs(fn)
+    blocked: Set[str] = set()
+    for ins in fn.instructions():
+        if isinstance(ins, CallInd):
+            return set()
+        if isinstance(ins, Call):
+            callee = known.get(ins.func, TOUCHES_ALL)
+            if callee is TOUCHES_ALL:
+                return set()
+            blocked.update(callee)
+    return own_global_refs(fn) - blocked

@@ -1,0 +1,111 @@
+"""Register-usage summaries (Section 2-4 of the paper).
+
+A procedure's summary is the information it exports to its callers under
+inter-procedural allocation:
+
+* ``used_mask`` -- one bit per register that *calling this procedure may
+  destroy*, merged over its entire call subtree (paper: "a flag for each
+  register marking it as used or unused ... includes the whole call tree
+  rooted at that procedure").  Callee-saved registers the procedure saves
+  and restores itself (shrink-wrapped, Section 6) are reported unused.
+* ``params`` -- which register carries each incoming parameter (Section 4).
+  For closed procedures this is whatever register the callee's allocator
+  chose for the parameter variable; for open procedures it is the default
+  linkage convention (a0-a3, then the stack).
+
+Open procedures do not really need a summary ("the register allocator can
+assume at once that all callee-saved registers are unused but all
+caller-saved registers are used"); :func:`default_summary` materialises
+exactly that assumption and is also used for indirect calls, externs and
+not-yet-processed procedures in recursion cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.target.registers import (
+    DEFAULT_CLOBBER_MASK,
+    NUM_PARAM_REGS,
+    PARAM_REGS,
+    Register,
+    V0,
+)
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """Where one parameter travels at a call boundary.
+
+    ``reg`` is the carrying register, or ``None`` for a stack-passed
+    parameter.  The outgoing-argument area has one slot per argument
+    position (register-passed positions simply leave theirs unused), so
+    the stack slot of a stack-passed parameter is its position.  ``dead``
+    marks parameters the callee provably never reads: the caller still
+    evaluates the argument (for side effects) but does not stage it
+    anywhere.
+    """
+
+    pos: int
+    reg: Optional[Register] = None
+    dead: bool = False
+
+    @property
+    def on_stack(self) -> bool:
+        return self.reg is None and not self.dead
+
+    @property
+    def stack_slot(self) -> int:
+        if not self.on_stack:
+            raise ValueError("parameter is not stack-passed")
+        return self.pos
+
+
+def default_param_specs(arity: int) -> List[ParamSpec]:
+    """The default linkage convention: first four in a0-a3, rest on stack."""
+    specs = []
+    for k in range(arity):
+        if k < NUM_PARAM_REGS:
+            specs.append(ParamSpec(pos=k, reg=PARAM_REGS[k]))
+        else:
+            specs.append(ParamSpec(pos=k, reg=None))
+    return specs
+
+
+@dataclass
+class ProcSummary:
+    """Everything a caller needs to know about calling a procedure."""
+
+    name: str
+    closed: bool
+    used_mask: int
+    params: List[ParamSpec] = field(default_factory=list)
+    #: diagnostics: registers this procedure's own candidates occupy
+    own_assigned_mask: int = 0
+    #: diagnostics: callee-saved registers it saves locally (wrapped)
+    saved_locally_mask: int = 0
+
+    def staging_mask(self) -> int:
+        """Registers written by the *caller* when staging arguments."""
+        m = 0
+        for spec in self.params:
+            if spec.reg is not None and not spec.dead:
+                m |= 1 << spec.reg.index
+        return m
+
+    def call_clobber_mask(self) -> int:
+        """Registers destroyed by a call to this procedure, as seen from
+        immediately before argument staging: subtree usage, plus staging,
+        plus the return-value register."""
+        return self.used_mask | self.staging_mask() | (1 << V0.index)
+
+
+def default_summary(name: str, arity: int) -> ProcSummary:
+    """Summary assumed for open procedures, externs and indirect calls."""
+    return ProcSummary(
+        name=name,
+        closed=False,
+        used_mask=DEFAULT_CLOBBER_MASK,
+        params=default_param_specs(arity),
+    )

@@ -1,0 +1,57 @@
+"""Three-address intermediate representation (the reproduction's Ucode)."""
+
+from repro.ir.function import BasicBlock, IRFunction, IRModule
+from repro.ir.instructions import (
+    Bin,
+    Call,
+    CallInd,
+    CJump,
+    IRInstr,
+    Jump,
+    LoadFunc,
+    LoadIdx,
+    Mov,
+    Print,
+    Ret,
+    StoreIdx,
+    Terminator,
+    Un,
+)
+from repro.ir.lowering import lower_function, lower_module
+from repro.ir.optimize import optimize_function, optimize_module
+from repro.ir.printer import format_function, format_module
+from repro.ir.values import Const, Value, VKind, VReg
+from repro.ir.verify import IRVerifyError, verify_function, verify_module
+
+__all__ = [
+    "BasicBlock",
+    "IRFunction",
+    "IRModule",
+    "Bin",
+    "Call",
+    "CallInd",
+    "CJump",
+    "IRInstr",
+    "Jump",
+    "LoadFunc",
+    "LoadIdx",
+    "Mov",
+    "Print",
+    "Ret",
+    "StoreIdx",
+    "Terminator",
+    "Un",
+    "lower_function",
+    "lower_module",
+    "optimize_function",
+    "optimize_module",
+    "format_function",
+    "format_module",
+    "Const",
+    "Value",
+    "VKind",
+    "VReg",
+    "IRVerifyError",
+    "verify_function",
+    "verify_module",
+]

@@ -1,0 +1,70 @@
+"""Word arithmetic shared by the constant folder, the reference
+interpreter, and the machine simulator.
+
+MiniC words are signed integers with C-style truncating division.  We do
+not wrap at 32 bits: the paper's metrics (cycles, scalar memory traffic)
+are unaffected by word width, and unbounded ints keep the simulator fast.
+Division by zero traps, as it would on the R2000 with the usual break
+check.
+"""
+
+from __future__ import annotations
+
+
+class MachineTrap(Exception):
+    """A run-time fault in simulated code (divide by zero, bad address...)."""
+
+
+def sdiv(a: int, b: int) -> int:
+    """C-style truncating division."""
+    if b == 0:
+        raise MachineTrap("integer divide by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def srem(a: int, b: int) -> int:
+    """C-style remainder: ``a - sdiv(a, b) * b`` (sign follows dividend)."""
+    if b == 0:
+        raise MachineTrap("integer remainder by zero")
+    return a - sdiv(a, b) * b
+
+
+def shift_left(a: int, b: int) -> int:
+    if b < 0 or b > 63:
+        raise MachineTrap(f"shift amount {b} out of range")
+    return a << b
+
+
+def shift_right(a: int, b: int) -> int:
+    """Arithmetic right shift (the front end's ``>>``)."""
+    if b < 0 or b > 63:
+        raise MachineTrap(f"shift amount {b} out of range")
+    return a >> b
+
+
+#: Binary operator name -> evaluation function over Python ints.
+BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": sdiv,
+    "%": srem,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": shift_left,
+    ">>": shift_right,
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+}
+
+UNOPS = {
+    "-": lambda a: -a,
+    "!": lambda a: int(a == 0),
+    "~": lambda a: ~a,
+}

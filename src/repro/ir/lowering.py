@@ -1,0 +1,315 @@
+"""Lowering MiniC ASTs to the three-address IR.
+
+Short-circuit ``&&``/``||`` lower to control flow; ``for`` lowers to the
+usual cond/body/step diamond with correct ``continue`` targets.  Every
+function falls off its end into an implicit ``return 0`` (codegen makes
+``return;`` deterministic by materialising 0 in the return register).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.errors import SemanticError
+from repro.frontend.semantics import FunctionInfo, ModuleInfo
+from repro.ir.function import BasicBlock, IRFunction, IRModule
+from repro.ir.instructions import (
+    Bin,
+    Call,
+    CallInd,
+    CJump,
+    Jump,
+    LoadFunc,
+    LoadIdx,
+    Mov,
+    Print,
+    Ret,
+    StoreIdx,
+    Un,
+)
+from repro.ir.values import Const, Value, VKind, VReg
+
+_COMPARISONS = frozenset({"<", "<=", ">", ">=", "==", "!="})
+
+
+class _FunctionLowerer:
+    def __init__(self, minfo: ModuleInfo, finfo: FunctionInfo):
+        self.minfo = minfo
+        self.finfo = finfo
+        self.fn = IRFunction(
+            name=finfo.name,
+            params=list(finfo.params),
+            local_arrays=dict(finfo.local_arrays),
+        )
+        self._temp_count = 0
+        self._label_count = 0
+        self._scope: Dict[str, VReg] = {}
+        for i, p in enumerate(finfo.params):
+            self._scope[p] = VReg(p, VKind.PARAM, i)
+        for name in finfo.locals:
+            self._scope[name] = VReg(name, VKind.LOCAL)
+        self.cur = self.fn.add_block(BasicBlock("entry"))
+        self._break_stack: List[str] = []
+        self._continue_stack: List[str] = []
+
+    # -- helpers -------------------------------------------------------------
+
+    def new_temp(self) -> VReg:
+        self._temp_count += 1
+        return VReg(f".t{self._temp_count}", VKind.TEMP)
+
+    def new_label(self, hint: str) -> str:
+        self._label_count += 1
+        return f"{hint}{self._label_count}"
+
+    def start_block(self, name: str) -> BasicBlock:
+        block = self.fn.add_block(BasicBlock(name))
+        self.cur = block
+        return block
+
+    def emit(self, instr) -> None:
+        if self.cur.terminator is None:
+            self.cur.instrs.append(instr)
+        # else: unreachable code after return/break -- silently dropped
+
+    def terminate(self, term) -> None:
+        if self.cur.terminator is None:
+            self.cur.terminator = term
+
+    def resolve(self, name: str) -> VReg:
+        if name in self._scope:
+            return self._scope[name]
+        if name in self.minfo.globals:
+            return VReg(name, VKind.GLOBAL)
+        raise SemanticError(f"unresolved name {name!r} in {self.fn.name}")
+
+    def is_array(self, name: str) -> bool:
+        return name in self.fn.local_arrays or name in self.minfo.arrays
+
+    # -- expressions ---------------------------------------------------------
+
+    def lower_value(self, expr: ast.Expr) -> Value:
+        """Lower ``expr`` to an operand (a Const or a VReg)."""
+        if isinstance(expr, ast.IntLit):
+            return Const(expr.value)
+        if isinstance(expr, ast.VarRef):
+            return self.resolve(expr.name)
+        if isinstance(expr, ast.Index):
+            dst = self.new_temp()
+            self.emit(LoadIdx(dst, expr.name, self.lower_value(expr.index)))
+            return dst
+        if isinstance(expr, ast.UnOp):
+            if expr.op == "!":
+                return self._lower_bool_value(expr)
+            a = self.lower_value(expr.operand)
+            dst = self.new_temp()
+            self.emit(Un(expr.op, dst, a))
+            return dst
+        if isinstance(expr, ast.BinOp):
+            if expr.op in ("&&", "||"):
+                return self._lower_bool_value(expr)
+            a = self.lower_value(expr.left)
+            b = self.lower_value(expr.right)
+            dst = self.new_temp()
+            self.emit(Bin(expr.op, dst, a, b))
+            return dst
+        if isinstance(expr, ast.Call):
+            return self._lower_call(expr, want_value=True)
+        if isinstance(expr, ast.FuncRef):
+            dst = self.new_temp()
+            self.emit(LoadFunc(dst, expr.name))
+            return dst
+        raise AssertionError(f"unknown expression {expr!r}")  # pragma: no cover
+
+    def _lower_bool_value(self, expr: ast.Expr) -> Value:
+        """Materialise a short-circuit expression as a 0/1 temp."""
+        dst = self.new_temp()
+        lt = self.new_label("btrue")
+        lf = self.new_label("bfalse")
+        lend = self.new_label("bend")
+        self.lower_cond(expr, lt, lf)
+        self.start_block(lt)
+        self.emit(Mov(dst, Const(1)))
+        self.terminate(Jump(lend))
+        self.start_block(lf)
+        self.emit(Mov(dst, Const(0)))
+        self.terminate(Jump(lend))
+        self.start_block(lend)
+        return dst
+
+    def _lower_call(self, expr: ast.Call, want_value: bool) -> Optional[Value]:
+        args = [self.lower_value(a) for a in expr.args]
+        dst = self.new_temp() if want_value else None
+        if expr.indirect:
+            target = self.resolve(expr.callee)
+            self.emit(CallInd(target, args, dst))
+        else:
+            self.emit(Call(expr.callee, args, dst))
+        return dst
+
+    def lower_cond(self, expr: ast.Expr, if_true: str, if_false: str) -> None:
+        """Lower ``expr`` as a branch to ``if_true``/``if_false``."""
+        if isinstance(expr, ast.BinOp) and expr.op == "&&":
+            mid = self.new_label("and")
+            self.lower_cond(expr.left, mid, if_false)
+            self.start_block(mid)
+            self.lower_cond(expr.right, if_true, if_false)
+            return
+        if isinstance(expr, ast.BinOp) and expr.op == "||":
+            mid = self.new_label("or")
+            self.lower_cond(expr.left, if_true, mid)
+            self.start_block(mid)
+            self.lower_cond(expr.right, if_true, if_false)
+            return
+        if isinstance(expr, ast.UnOp) and expr.op == "!":
+            self.lower_cond(expr.operand, if_false, if_true)
+            return
+        if isinstance(expr, ast.IntLit):
+            self.terminate(Jump(if_true if expr.value != 0 else if_false))
+            return
+        cond = self.lower_value(expr)
+        self.terminate(CJump(cond, if_true, if_false))
+
+    # -- statements ----------------------------------------------------------
+
+    def lower_block(self, block: ast.Block) -> None:
+        for stmt in block.stmts:
+            self.lower_stmt(stmt)
+
+    def lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.LocalVar):
+            if stmt.name not in self._scope:       # declared mid-body
+                self._scope[stmt.name] = VReg(stmt.name, VKind.LOCAL)
+                if stmt.name not in self.finfo.locals:
+                    self.finfo.locals.append(stmt.name)
+            if stmt.init is not None:
+                self.emit(Mov(self._scope[stmt.name], self.lower_value(stmt.init)))
+            return
+        if isinstance(stmt, ast.LocalArray):
+            self.fn.local_arrays.setdefault(stmt.name, stmt.size)
+            return
+        if isinstance(stmt, ast.Assign):
+            dst = self.resolve(stmt.name)
+            src = self.lower_value(stmt.value)
+            self.emit(Mov(dst, src))
+            return
+        if isinstance(stmt, ast.ArrayAssign):
+            idx = self.lower_value(stmt.index)
+            src = self.lower_value(stmt.value)
+            self.emit(StoreIdx(stmt.name, idx, src))
+            return
+        if isinstance(stmt, ast.If):
+            lt = self.new_label("then")
+            lend = self.new_label("endif")
+            lf = self.new_label("else") if stmt.orelse is not None else lend
+            self.lower_cond(stmt.cond, lt, lf)
+            self.start_block(lt)
+            self.lower_block(stmt.then)
+            self.terminate(Jump(lend))
+            if stmt.orelse is not None:
+                self.start_block(lf)
+                self.lower_stmt(stmt.orelse)
+                self.terminate(Jump(lend))
+            self.start_block(lend)
+            return
+        if isinstance(stmt, ast.While):
+            lcond = self.new_label("wcond")
+            lbody = self.new_label("wbody")
+            lend = self.new_label("wend")
+            self.terminate(Jump(lcond))
+            self.start_block(lcond)
+            self.lower_cond(stmt.cond, lbody, lend)
+            self.start_block(lbody)
+            self._break_stack.append(lend)
+            self._continue_stack.append(lcond)
+            self.lower_block(stmt.body)
+            self._break_stack.pop()
+            self._continue_stack.pop()
+            self.terminate(Jump(lcond))
+            self.start_block(lend)
+            return
+        if isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self.lower_stmt(stmt.init)
+            lcond = self.new_label("fcond")
+            lbody = self.new_label("fbody")
+            lstep = self.new_label("fstep")
+            lend = self.new_label("fend")
+            self.terminate(Jump(lcond))
+            self.start_block(lcond)
+            if stmt.cond is not None:
+                self.lower_cond(stmt.cond, lbody, lend)
+            else:
+                self.terminate(Jump(lbody))
+            self.start_block(lbody)
+            self._break_stack.append(lend)
+            self._continue_stack.append(lstep)
+            self.lower_block(stmt.body)
+            self._break_stack.pop()
+            self._continue_stack.pop()
+            self.terminate(Jump(lstep))
+            self.start_block(lstep)
+            if stmt.step is not None:
+                self.lower_stmt(stmt.step)
+            self.terminate(Jump(lcond))
+            self.start_block(lend)
+            return
+        if isinstance(stmt, ast.Return):
+            value = self.lower_value(stmt.value) if stmt.value is not None else None
+            self.terminate(Ret(value))
+            # subsequent statements in this block are unreachable; give them
+            # a fresh (unreachable) block so lowering can continue.
+            self.start_block(self.new_label("dead"))
+            return
+        if isinstance(stmt, ast.Print):
+            self.emit(Print(self.lower_value(stmt.value)))
+            return
+        if isinstance(stmt, ast.ExprStmt):
+            if isinstance(stmt.expr, ast.Call):
+                self._lower_call(stmt.expr, want_value=False)
+            else:
+                self.lower_value(stmt.expr)   # evaluated for traps only
+            return
+        if isinstance(stmt, ast.Break):
+            self.terminate(Jump(self._break_stack[-1]))
+            self.start_block(self.new_label("dead"))
+            return
+        if isinstance(stmt, ast.Continue):
+            self.terminate(Jump(self._continue_stack[-1]))
+            self.start_block(self.new_label("dead"))
+            return
+        if isinstance(stmt, ast.Block):
+            self.lower_block(stmt)
+            return
+        raise AssertionError(f"unknown statement {stmt!r}")  # pragma: no cover
+
+    def finish(self) -> IRFunction:
+        self.terminate(Ret(None))
+        self.fn.remove_unreachable_blocks()
+        self.fn.collect_vregs()
+        # params must exist even if never referenced, so the calling
+        # convention stays consistent
+        for i, p in enumerate(self.finfo.params):
+            self.fn.vregs.add(VReg(p, VKind.PARAM, i))
+        return self.fn
+
+
+def lower_function(minfo: ModuleInfo, finfo: FunctionInfo) -> IRFunction:
+    lowerer = _FunctionLowerer(minfo, finfo)
+    lowerer.lower_block(finfo.decl.body)
+    return lowerer.finish()
+
+
+def lower_module(minfo: ModuleInfo) -> IRModule:
+    """Lower an analysed module to IR."""
+    mod = IRModule(
+        name=minfo.name,
+        globals=dict(minfo.globals),
+        arrays=dict(minfo.arrays),
+        externs=dict(minfo.externs),
+        address_taken=set(minfo.address_taken),
+    )
+    for finfo in minfo.functions.values():
+        mod.add_function(lower_function(minfo, finfo))
+    return mod

@@ -1,0 +1,30 @@
+"""Human-readable IR listings."""
+
+from __future__ import annotations
+
+from repro.ir.function import IRFunction, IRModule
+
+
+def format_function(fn: IRFunction) -> str:
+    lines = [f"func {fn.name}({', '.join(fn.params)}):"]
+    for name, size in sorted(fn.local_arrays.items()):
+        lines.append(f"  array {name}[{size}]")
+    for block in fn.blocks:
+        lines.append(f"{block.name}:")
+        for ins in block.instrs:
+            lines.append(f"    {ins!r}")
+        lines.append(f"    {block.terminator!r}")
+    return "\n".join(lines)
+
+
+def format_module(mod: IRModule) -> str:
+    parts = [f"module {mod.name}"]
+    for name, init in sorted(mod.globals.items()):
+        parts.append(f"var {name} = {init}")
+    for name, size in sorted(mod.arrays.items()):
+        parts.append(f"array {name}[{size}]")
+    for name, arity in sorted(mod.externs.items()):
+        parts.append(f"extern func {name}({arity})")
+    for fn in mod.functions.values():
+        parts.append(format_function(fn))
+    return "\n\n".join(parts)

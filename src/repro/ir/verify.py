@@ -1,0 +1,69 @@
+"""IR structural verifier.
+
+Run after lowering and after each optimisation pass in tests to catch
+malformed IR early: every block terminated, every branch target defined,
+entry block first, vreg set consistent, call arities consistent within the
+module.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import IRFunction, IRModule
+from repro.ir.instructions import Call
+
+
+class IRVerifyError(Exception):
+    pass
+
+
+def verify_function(fn: IRFunction) -> None:
+    if not fn.blocks:
+        raise IRVerifyError(f"{fn.name}: no blocks")
+    names = set()
+    for block in fn.blocks:
+        if block.name in names:
+            raise IRVerifyError(f"{fn.name}: duplicate block {block.name}")
+        names.add(block.name)
+        if block.terminator is None:
+            raise IRVerifyError(f"{fn.name}: block {block.name} unterminated")
+    for block in fn.blocks:
+        for target in block.successors():
+            if target not in names:
+                raise IRVerifyError(
+                    f"{fn.name}: block {block.name} branches to "
+                    f"undefined block {target}"
+                )
+    declared = fn.vregs
+    for block in fn.blocks:
+        for ins in block.instrs:
+            for v in list(ins.use_vregs()) + list(ins.defs()):
+                if v not in declared:
+                    raise IRVerifyError(
+                        f"{fn.name}: vreg {v} not in function vreg set"
+                    )
+        for v in block.terminator.use_vregs():
+            if v not in declared:
+                raise IRVerifyError(
+                    f"{fn.name}: vreg {v} not in function vreg set"
+                )
+
+
+def verify_module(mod: IRModule) -> None:
+    arities = {name: len(fn.params) for name, fn in mod.functions.items()}
+    arities.update(mod.externs)
+    for fn in mod.functions.values():
+        verify_function(fn)
+        for ins in fn.instructions():
+            if isinstance(ins, Call):
+                if ins.func not in arities:
+                    raise IRVerifyError(
+                        f"{fn.name}: call to unknown function {ins.func}"
+                    )
+                if arities[ins.func] != len(ins.args):
+                    raise IRVerifyError(
+                        f"{fn.name}: call to {ins.func} with "
+                        f"{len(ins.args)} args, expected {arities[ins.func]}"
+                    )
+    for name in mod.address_taken:
+        if name not in arities:
+            raise IRVerifyError(f"&{name}: unknown function")

@@ -1,0 +1,51 @@
+"""Compilation pipeline: options, drivers, linker."""
+
+from repro.pipeline.driver import (
+    CompiledModule,
+    CompiledProgram,
+    compile_and_run,
+    compile_module,
+    compile_program,
+    link_modules,
+)
+from repro.pipeline.linker import (
+    Executable,
+    ObjectCode,
+    link_executable,
+    link_ir_modules,
+)
+from repro.pipeline.options import (
+    CompilerOptions,
+    O0,
+    O1,
+    O2,
+    O2_SW,
+    O3,
+    O3_SW,
+    PAPER_CONFIGS,
+    TABLE2_D,
+    TABLE2_E,
+)
+
+__all__ = [
+    "CompiledModule",
+    "CompiledProgram",
+    "compile_and_run",
+    "compile_module",
+    "compile_program",
+    "link_modules",
+    "Executable",
+    "ObjectCode",
+    "link_executable",
+    "link_ir_modules",
+    "CompilerOptions",
+    "O0",
+    "O1",
+    "O2",
+    "O2_SW",
+    "O3",
+    "O3_SW",
+    "PAPER_CONFIGS",
+    "TABLE2_D",
+    "TABLE2_E",
+]

@@ -1,0 +1,174 @@
+"""The whole-program compilation driver.
+
+Whole-program path (the paper's -O3 setting: Ucode is linked before
+optimisation):
+
+    sources -> parse/analyze/lower -> IR link -> IR optimise
+            -> plan (intra or IPRA, one pass over the call graph)
+            -> codegen -> executable link -> simulate
+
+Separate-compilation path: each module is compiled to object code alone
+(externs use the default convention; every procedure is open) and the
+objects are linked afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.frontend import analyze, parse
+from repro.interproc.allocator import (
+    FnPlan,
+    PlanOptions,
+    ProgramPlan,
+    plan_program,
+)
+from repro.ir.function import IRModule
+from repro.ir.lowering import lower_module
+from repro.ir.optimize import optimize_module
+from repro.ir.verify import verify_module
+from repro.pipeline.linker import (
+    Executable,
+    ObjectCode,
+    link_executable,
+    link_ir_modules,
+)
+from repro.pipeline.options import CompilerOptions, O2
+from repro.sim.simulator import run_program
+from repro.sim.stats import RunStats
+from repro.target.codegen import generate_function
+from repro.target.registers import (
+    ALLOCATABLE_MASK,
+    CALLEE_SAVED_MASK,
+    RegisterFile,
+)
+
+Source = Union[str, Tuple[str, str]]  # source text or (module name, text)
+
+
+@dataclass
+class CompiledProgram:
+    """Executable plus everything useful for inspection and tests."""
+
+    executable: Executable
+    ir: IRModule
+    plan: ProgramPlan
+    options: CompilerOptions
+
+    def run(self, **kwargs) -> RunStats:
+        return run_program(self.executable, **kwargs)
+
+
+def _parse_sources(sources: Union[Source, Sequence[Source]]) -> List[IRModule]:
+    if isinstance(sources, (str, tuple)):
+        sources = [sources]
+    modules = []
+    for i, src in enumerate(sources):
+        if isinstance(src, tuple):
+            name, text = src
+        else:
+            name, text = f"module{i}" if i else "main", src
+        modules.append(lower_module(analyze(parse(text, name))))
+    return modules
+
+
+def _plan_options(options: CompilerOptions) -> PlanOptions:
+    register_file = options.register_file
+    if not options.allocate_registers:
+        register_file = RegisterFile(())
+    return PlanOptions(
+        register_file=register_file,
+        ipra=options.ipra,
+        shrink_wrap=options.shrink_wrap,
+        combine=options.combine,
+        prefer_subtree_reg=options.prefer_subtree_reg,
+        smear_loops=options.smear_loops,
+        externally_visible=options.externally_visible,
+        entry=options.entry,
+        block_weights=options.block_weights,
+        ipra_globals=options.ipra_globals,
+    )
+
+
+def _preserved_mask(plan: FnPlan) -> int:
+    """Registers this procedure's code must leave intact for its caller
+    (used by the simulator's dynamic contract checker)."""
+    if plan.summary is not None and plan.summary.closed:
+        return ALLOCATABLE_MASK & ~plan.summary.used_mask
+    return CALLEE_SAVED_MASK
+
+
+def _codegen_module(
+    module: IRModule, plan: ProgramPlan, options: CompilerOptions
+) -> ObjectCode:
+    obj = ObjectCode(
+        globals=dict(module.globals), arrays=dict(module.arrays)
+    )
+    for name in module.functions:
+        fnplan = plan.plans[name]
+        obj.functions[name] = generate_function(fnplan, module.arrays)
+        obj.preserved_masks[name] = _preserved_mask(fnplan)
+    return obj
+
+
+def compile_program(
+    sources: Union[Source, Sequence[Source]],
+    options: CompilerOptions = O2,
+) -> CompiledProgram:
+    """Compile one or more MiniC sources as a whole program."""
+    modules = _parse_sources(sources)
+    program = link_ir_modules(modules)
+    verify_module(program)
+    if options.optimize_ir:
+        optimize_module(program)
+        verify_module(program)
+    plan = plan_program(program, _plan_options(options))
+    obj = _codegen_module(program, plan, options)
+    exe = link_executable([obj], entry=options.entry)
+    return CompiledProgram(
+        executable=exe, ir=program, plan=plan, options=options
+    )
+
+
+@dataclass
+class CompiledModule:
+    """One separately compiled translation unit."""
+
+    object_code: ObjectCode
+    ir: IRModule
+    plan: ProgramPlan
+
+
+def compile_module(source: Source, options: CompilerOptions = O2) -> CompiledModule:
+    """Compile a single module in isolation (separate compilation).
+
+    Every procedure is treated as externally visible, hence open; calls to
+    externs assume the default convention.  This reproduces the paper's
+    incomplete-information regime of Section 3.
+    """
+    (module,) = _parse_sources([source])
+    verify_module(module)
+    if options.optimize_ir:
+        optimize_module(module)
+        verify_module(module)
+    opts = _plan_options(options.with_(externally_visible=True))
+    plan = plan_program(module, opts)
+    obj = _codegen_module(module, plan, options)
+    return CompiledModule(object_code=obj, ir=module, plan=plan)
+
+
+def link_modules(
+    compiled: Sequence[CompiledModule], entry: str = "main"
+) -> Executable:
+    """Link separately compiled modules into an executable."""
+    return link_executable([c.object_code for c in compiled], entry=entry)
+
+
+def compile_and_run(
+    sources: Union[Source, Sequence[Source]],
+    options: CompilerOptions = O2,
+    **run_kwargs,
+) -> RunStats:
+    """One-stop helper: compile as a whole program and execute."""
+    return compile_program(sources, options).run(**run_kwargs)

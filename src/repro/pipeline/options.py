@@ -1,0 +1,88 @@
+"""Compiler options mapping onto the paper's configurations.
+
+The paper's measurement matrix (Tables 1 and 2) is spanned by:
+
+================  ============================================
+paper config      options
+================  ============================================
+base (-O2)        ``O2``                  (intra, no shrink-wrap)
+A    (-O2 + SW)   ``O2_SW``
+B    (-O3)        ``O3``                  (IPRA, no shrink-wrap)
+C    (-O3 + SW)   ``O3_SW``
+D                 ``O3_SW`` with ``caller_only_file(7)``
+E                 ``O3_SW`` with ``callee_only_file(7)``
+================  ============================================
+
+Opt levels: 0 = straight translation (no IR optimisation, no register
+allocation), 1 = IR optimisation only, 2 = + intra-procedural priority
+coloring, 3 = + inter-procedural allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence
+
+from repro.target.registers import (
+    FULL_FILE,
+    RegisterFile,
+    caller_only_file,
+    callee_only_file,
+)
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    opt_level: int = 2
+    shrink_wrap: bool = False
+    register_file: RegisterFile = FULL_FILE
+    #: Section 6 propagate-vs-wrap combining strategy
+    combine: bool = True
+    #: Fig. 1 tie-break: prefer registers already used in the call tree
+    prefer_subtree_reg: bool = True
+    #: never let a shrink-wrapped region sit inside a loop
+    smear_loops: bool = True
+    #: separate-compilation conservatism: all procedures open
+    externally_visible: bool = False
+    entry: str = "main"
+    #: profile-feedback extension: function -> {block name -> count}
+    block_weights: Optional[Dict[str, Dict[str, int]]] = None
+    #: mod/ref extension: cache globals in registers across calls whose
+    #: subtrees provably never touch them
+    ipra_globals: bool = False
+
+    @property
+    def ipra(self) -> bool:
+        return self.opt_level >= 3
+
+    @property
+    def allocate_registers(self) -> bool:
+        return self.opt_level >= 2
+
+    @property
+    def optimize_ir(self) -> bool:
+        return self.opt_level >= 1
+
+    def with_(self, **kwargs) -> "CompilerOptions":
+        return replace(self, **kwargs)
+
+
+# The paper's configurations ------------------------------------------------
+
+O0 = CompilerOptions(opt_level=0)
+O1 = CompilerOptions(opt_level=1)
+O2 = CompilerOptions(opt_level=2, shrink_wrap=False)        # Table 1 baseline
+O2_SW = CompilerOptions(opt_level=2, shrink_wrap=True)      # Table 1 col A
+O3 = CompilerOptions(opt_level=3, shrink_wrap=False)        # Table 1 col B
+O3_SW = CompilerOptions(opt_level=3, shrink_wrap=True)      # Table 1 col C
+TABLE2_D = O3_SW.with_(register_file=caller_only_file(7))   # Table 2 col D
+TABLE2_E = O3_SW.with_(register_file=callee_only_file(7))   # Table 2 col E
+
+PAPER_CONFIGS: Dict[str, CompilerOptions] = {
+    "base": O2,
+    "A": O2_SW,
+    "B": O3,
+    "C": O3_SW,
+    "D": TABLE2_D,
+    "E": TABLE2_E,
+}

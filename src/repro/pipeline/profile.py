@@ -1,0 +1,67 @@
+"""Profile-guided register allocation (the paper's stated future work).
+
+The paper closes its Table 1 analysis with: "we lack information on the
+execution frequencies at different levels of the call graph.  Knowledge
+of such profile data can enable the register allocator to distribute
+saves/restores more optimally ...  The feedback of profile data to the
+register allocator is a capability that we plan to add in the future."
+
+This module adds it: a profiling run counts basic-block executions (the
+simulator increments a counter at every block-start pc), and the counts
+replace the static ``10^loop-depth`` weights in the priority function and
+in the shrink-wrap APP weighting, via ``CompilerOptions.block_weights``.
+
+Usage::
+
+    profile = collect_block_profile(sources, options)
+    tuned = options.with_(block_weights=profile)
+    prog = compile_program(sources, tuned)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.pipeline.driver import CompiledProgram, compile_program, Source
+from repro.pipeline.options import CompilerOptions, O2
+from repro.sim.simulator import run_program
+
+
+def block_profile_of(
+    prog: CompiledProgram, **run_kwargs
+) -> Dict[str, Dict[str, int]]:
+    """Run ``prog`` once with block counting and return
+    ``function -> {block name -> execution count}``."""
+    exe = prog.executable
+    starts: Dict[int, int] = {}
+    where: Dict[int, Tuple[str, str]] = {}
+    for label, pc in exe.labels.items():
+        if "." not in label:
+            continue
+        fn, _, block = label.partition(".")
+        if fn in exe.func_entries:
+            starts[pc] = 0
+            where[pc] = (fn, block)
+    run_program(exe, block_counts=starts, **run_kwargs)
+    out: Dict[str, Dict[str, int]] = {}
+    for pc, count in starts.items():
+        fn, block = where[pc]
+        out.setdefault(fn, {})[block] = count
+    return out
+
+
+def collect_block_profile(
+    sources: Union[Source, Sequence[Source]],
+    options: CompilerOptions = O2,
+    **run_kwargs,
+) -> Dict[str, Dict[str, int]]:
+    """Compile at ``options`` (the training build) and profile one run."""
+    return block_profile_of(compile_program(sources, options), **run_kwargs)
+
+
+def profile_guided_options(
+    options: CompilerOptions,
+    profile: Dict[str, Dict[str, int]],
+) -> CompilerOptions:
+    """Attach a collected profile to compiler options."""
+    return options.with_(block_weights=profile)

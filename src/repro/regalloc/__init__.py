@@ -1,0 +1,39 @@
+"""Priority-based coloring register allocation (Chow-Hennessy), with the
+paper's per-register priority extension for IPRA."""
+
+from repro.regalloc.candidates import allocation_candidates, candidate_globals
+from repro.regalloc.coloring import ColoringOptions, allocate_function
+from repro.regalloc.context import AllocEnv, intra_env
+from repro.regalloc.live_ranges import (
+    LiveRange,
+    RangeCall,
+    RangeInfo,
+    build_ranges,
+)
+from repro.regalloc.priority import (
+    LOAD_COST,
+    MOVE_COST,
+    PriorityModel,
+    SAVE_RESTORE_COST,
+    STORE_COST,
+)
+from repro.regalloc.result import AllocationResult
+
+__all__ = [
+    "allocation_candidates",
+    "candidate_globals",
+    "ColoringOptions",
+    "allocate_function",
+    "AllocEnv",
+    "intra_env",
+    "LiveRange",
+    "RangeCall",
+    "RangeInfo",
+    "build_ranges",
+    "LOAD_COST",
+    "MOVE_COST",
+    "PriorityModel",
+    "SAVE_RESTORE_COST",
+    "STORE_COST",
+    "AllocationResult",
+]

@@ -1,0 +1,43 @@
+"""Which virtual registers are register-allocation candidates.
+
+Locals, parameters and temporaries always are.  Global scalars are
+candidates only where register residence is sound without inter-procedural
+alias information: in procedures that make no calls at all, the global can
+be loaded at entry and stored back at exit with no other procedure able to
+observe the window.  (The paper allocates globals to registers "within
+procedures in which they appear"; the call-free restriction is our sound
+approximation -- see DESIGN.md.  The ``ipra_globals`` extension relaxes it
+using subtree mod/ref summaries.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.ir.function import IRFunction
+from repro.ir.values import VKind, VReg
+
+
+def allocation_candidates(
+    fn: IRFunction,
+    allowed_globals: Optional[Set[str]] = None,
+) -> Set[VReg]:
+    """The candidate set for ``fn``.
+
+    In a call-free procedure every global scalar is eligible.  In a
+    procedure with calls a global is eligible only when named in
+    ``allowed_globals`` -- the mod/ref extension passes the globals that
+    provably no callee subtree touches; by default none are.
+    """
+    call_free = not fn.has_calls()
+    out: Set[VReg] = set()
+    for v in fn.vregs:
+        if v.kind is VKind.GLOBAL and not call_free:
+            if allowed_globals is None or v.name not in allowed_globals:
+                continue
+        out.add(v)
+    return out
+
+
+def candidate_globals(candidates: Set[VReg]) -> Set[VReg]:
+    return {v for v in candidates if v.kind is VKind.GLOBAL}

@@ -1,0 +1,202 @@
+"""Priority-based coloring (Chow-Hennessy), with the paper's per-register
+priority extension.
+
+The allocator:
+
+1. builds live ranges and the interference graph over the candidates;
+2. gathers parameter-register preferences from call sites (Section 4);
+3. visits candidates in decreasing order of optimistic priority;
+4. for each, picks the register with the highest (v, r) priority among
+   those not taken by interfering neighbours, with ties broken in favour
+   of registers already used in the current call tree (Section 2: "the
+   allocator will prefer a register that has already been used in the
+   current call tree", minimising registers per call tree -- Fig. 1);
+5. leaves the value memory-resident when every available register has
+   negative priority (save/restore traffic would exceed the benefit) or
+   no register is free (no live-range splitting; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from repro.cfg.cfg import CFG, build_cfg
+from repro.cfg.loops import LoopInfo, find_loops
+from repro.dataflow.liveness import Liveness, compute_liveness
+from repro.ir.function import IRFunction
+from repro.ir.values import VKind, VReg
+from repro.regalloc.candidates import allocation_candidates, candidate_globals
+from repro.regalloc.context import AllocEnv
+from repro.regalloc.live_ranges import RangeInfo, build_ranges
+from repro.regalloc.priority import MOVE_COST, PriorityModel, SAVE_RESTORE_COST
+from repro.regalloc.result import AllocationResult
+from repro.target.registers import Register
+
+
+@dataclass
+class ColoringOptions:
+    """Ablation switches for the allocator."""
+
+    #: prefer registers already used in the call tree on priority ties
+    prefer_subtree_reg: bool = True
+    #: per-block weight override (profile feedback extension): either a
+    #: sequence indexed by block id or a mapping from block name to its
+    #: measured execution count
+    block_weights: Optional[object] = None
+    #: globals that may be register-cached across this procedure's calls
+    #: (mod/ref extension; None = only call-free procedures cache globals)
+    allowed_globals: Optional[Set[str]] = None
+
+
+def _resolve_block_weights(
+    cfg: CFG, weights: Optional[object]
+) -> Optional[Sequence[int]]:
+    if weights is None:
+        return None
+    if isinstance(weights, dict):
+        return [max(0, int(weights.get(b.name, 0))) for b in cfg.blocks]
+    return list(weights)
+
+
+def _gather_param_bonus(
+    model: PriorityModel,
+    ranges: RangeInfo,
+    env: AllocEnv,
+    fn: IRFunction,
+) -> None:
+    """Fill the (vreg, register) -> bonus map from call-site staging and
+    incoming parameter conventions."""
+    for rc in ranges.all_calls:
+        specs = env.param_specs(rc.instr)
+        args = getattr(rc.instr, "args", [])
+        for spec, arg in zip(specs, args):
+            if spec.reg is None or spec.dead:
+                continue
+            if isinstance(arg, VReg):
+                key = (arg, spec.reg.index)
+                model.param_bonus[key] = (
+                    model.param_bonus.get(key, 0) + MOVE_COST * rc.weight
+                )
+    # Incoming parameters: under the default convention the k-th parameter
+    # arrives in a_k; occupying exactly that register deletes the entry
+    # move.  Closed procedures under IPRA choose the incoming register
+    # freely, so no preference is needed there.
+    if env.callee_saved_convention_applies or not env.ipra:
+        from repro.interproc.summaries import default_param_specs
+
+        for v in fn.param_vregs:
+            specs = default_param_specs(len(fn.params))
+            spec = specs[v.index]
+            if spec.reg is not None:
+                key = (v, spec.reg.index)
+                model.param_bonus[key] = (
+                    model.param_bonus.get(key, 0) + MOVE_COST
+                )
+
+
+def allocate_function(
+    fn: IRFunction,
+    env: AllocEnv,
+    options: Optional[ColoringOptions] = None,
+    subtree_used_mask: int = 0,
+    cfg: Optional[CFG] = None,
+) -> AllocationResult:
+    """Run priority-based coloring on ``fn`` under environment ``env``.
+
+    ``subtree_used_mask`` is the union of the summaries of this
+    procedure's (closed) callees -- the registers already used in the
+    current call tree, preferred on ties.
+    """
+    options = options or ColoringOptions()
+    if cfg is None:
+        cfg = build_cfg(fn)
+    loops = find_loops(cfg)
+    candidates = allocation_candidates(fn, options.allowed_globals)
+    # A *written* register-candidate global must survive to the exit store;
+    # a read-only one just has its natural range from the entry load.
+    written = {
+        d for block in fn.blocks for ins in block.instrs for d in ins.defs()
+    }
+    exit_live = sorted(
+        (v for v in candidate_globals(candidates) if v in written),
+        key=lambda v: v.name,
+    )
+    liveness = compute_liveness(cfg, exit_live=exit_live)
+    ranges = build_ranges(
+        cfg, liveness, loops, candidates,
+        block_weights=_resolve_block_weights(cfg, options.block_weights),
+    )
+
+
+    resolved_weights = _resolve_block_weights(cfg, options.block_weights)
+    entry_weight = 1
+    if resolved_weights is not None and resolved_weights:
+        entry_weight = max(1, resolved_weights[cfg.entry])
+    model = PriorityModel(env=env, entry_weight=entry_weight)
+    for rc in ranges.all_calls:
+        model.call_clobbers[id(rc.instr)] = env.clobber_mask(rc.instr)
+    _gather_param_bonus(model, ranges, env, fn)
+
+    result = AllocationResult(
+        fn=fn, cfg=cfg, liveness=liveness, loops=loops,
+        candidates=candidates, ranges=ranges,
+        call_clobbers=dict(model.call_clobbers),
+    )
+    for rc in ranges.all_calls:
+        result.call_params[id(rc.instr)] = list(env.param_specs(rc.instr))
+
+    # Order candidates by optimistic priority (highest first); note dead
+    # ranges (no blocks / zero benefit) are skipped outright.
+    order = []
+    for v in candidates:
+        lr = ranges.ranges.get(v)
+        if lr is None or not lr.blocks:
+            continue
+        if model.benefit(lr) <= 0 and v.kind is not VKind.GLOBAL:
+            continue
+        order.append((model.order_key(lr), lr))
+    order.sort(key=lambda pair: (-pair[0], pair[1].vreg.name))
+
+    used_mask = 0
+    convention = env.callee_saved_convention_applies
+    regs = env.register_file.allocatable
+
+    for _, lr in order:
+        v = lr.vreg
+        forbidden: Set[int] = set()
+        for n in ranges.neighbors(v):
+            r = result.assignment.get(n)
+            if r is not None:
+                forbidden.add(r.index)
+        best: Optional[Tuple[float, int, int, int, Register]] = None
+        for r in regs:
+            if r.index in forbidden:
+                continue
+            first_use = 0
+            if (
+                convention
+                and r.callee_saved
+                and not (used_mask & (1 << r.index))
+            ):
+                first_use = SAVE_RESTORE_COST * model.entry_weight
+            prio = model.priority(lr, r, first_use)
+            if prio < 0:
+                continue
+            in_subtree = (
+                1 if options.prefer_subtree_reg
+                and ((subtree_used_mask | used_mask) & (1 << r.index))
+                else 0
+            )
+            already_used = 1 if used_mask & (1 << r.index) else 0
+            key = (prio, in_subtree, already_used, -r.index, r)
+            if best is None or key[:4] > best[:4]:
+                best = key
+        if best is None:
+            continue  # memory-resident
+        reg = best[4]
+        result.assignment[v] = reg
+        used_mask |= 1 << reg.index
+
+    result.own_assigned_mask = used_mask
+    return result

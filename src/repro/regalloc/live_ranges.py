@@ -1,0 +1,152 @@
+"""Live ranges at basic-block granularity (Chow-Hennessy style).
+
+A live range records, for one allocation candidate:
+
+* the set of blocks where the value is live (its APP footprint when a
+  register is assigned to it),
+* loop-weighted use/def counts (the *benefit* of residing in a register:
+  every use avoids a load, every def avoids a store), and
+* the call sites whose execution the range spans (the potential *cost*:
+  a register clobbered at such a call must be saved/restored around it).
+
+Interference is computed at instruction granularity (a def interferes
+with everything live after it), which is slightly finer than the paper's
+block-level ranges but standard practice and necessary to keep expression
+temporaries from choking the register file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cfg.cfg import CFG
+from repro.cfg.loops import LoopInfo
+from repro.dataflow.liveness import Liveness, instruction_live_sets
+from repro.ir.instructions import IRInstr, Mov
+from repro.ir.values import VReg
+
+
+@dataclass
+class RangeCall:
+    """A call spanned by a live range."""
+
+    instr: IRInstr          # the Call or CallInd
+    block: int
+    weight: int
+
+
+@dataclass
+class LiveRange:
+    vreg: VReg
+    blocks: Set[int] = field(default_factory=set)
+    use_weight: int = 0         # loop-weighted count of reads
+    def_weight: int = 0         # loop-weighted count of writes
+    calls: List[RangeCall] = field(default_factory=list)
+
+    @property
+    def span(self) -> int:
+        """Live-range size used to normalise priorities (paper: area)."""
+        return max(1, len(self.blocks))
+
+
+@dataclass
+class RangeInfo:
+    """Live ranges for every candidate plus the interference graph."""
+
+    ranges: Dict[VReg, LiveRange] = field(default_factory=dict)
+    adjacency: Dict[VReg, Set[VReg]] = field(default_factory=dict)
+    #: every call instruction in the function with (block, weight)
+    all_calls: List[RangeCall] = field(default_factory=list)
+
+    def interfere(self, a: VReg, b: VReg) -> None:
+        if a == b:
+            return
+        self.adjacency.setdefault(a, set()).add(b)
+        self.adjacency.setdefault(b, set()).add(a)
+
+    def neighbors(self, v: VReg) -> Set[VReg]:
+        return self.adjacency.get(v, set())
+
+
+def build_ranges(
+    cfg: CFG,
+    liveness: Liveness,
+    loops: LoopInfo,
+    candidates: Set[VReg],
+    block_weights: Optional[Sequence[int]] = None,
+) -> RangeInfo:
+    """Build live ranges and the interference graph for ``candidates``.
+
+    ``block_weights`` overrides the static loop-depth weights (used by the
+    profile-feedback extension); it must give one weight per block id.
+    """
+    info = RangeInfo()
+
+    def weight(b: int) -> int:
+        if block_weights is not None:
+            return block_weights[b]
+        return loops.weight(b)
+
+    def range_of(v: VReg) -> LiveRange:
+        lr = info.ranges.get(v)
+        if lr is None:
+            lr = LiveRange(vreg=v)
+            info.ranges[v] = lr
+        return lr
+
+    # Block footprint from liveness: live-in blocks plus def/use blocks.
+    for b, block in enumerate(cfg.blocks):
+        live_in_here = liveness.live_in[b]
+        for v in live_in_here:
+            if v in candidates:
+                range_of(v).blocks.add(b)
+        for ins in block.instrs:
+            for v in ins.use_vregs():
+                if v in candidates:
+                    lr = range_of(v)
+                    lr.blocks.add(b)
+                    lr.use_weight += weight(b)
+            for d in ins.defs():
+                if d in candidates:
+                    lr = range_of(d)
+                    lr.blocks.add(b)
+                    lr.def_weight += weight(b)
+        for v in block.terminator.use_vregs():
+            if v in candidates:
+                lr = range_of(v)
+                lr.blocks.add(b)
+                lr.use_weight += weight(b)
+
+    # Instruction-level interference + spanned calls.
+    entry_live = [
+        v for v in liveness.live_in[cfg.entry] if v in candidates
+    ]
+    for i, a in enumerate(entry_live):
+        for b2 in entry_live[i + 1:]:
+            info.interfere(a, b2)
+
+    for b, block in enumerate(cfg.blocks):
+        w = weight(b)
+        for ins, live_before, live_after in instruction_live_sets(
+            block, liveness.live_out[b]
+        ):
+            if ins.is_call:
+                rc = RangeCall(instr=ins, block=b, weight=w)
+                info.all_calls.append(rc)
+                defs = set(ins.defs())
+                for v in live_after:
+                    if v in candidates and v not in defs and v in live_before:
+                        range_of(v).calls.append(rc)
+            move_src = ins.src if isinstance(ins, Mov) else None
+            for d in ins.defs():
+                if d not in candidates:
+                    continue
+                for v in live_after:
+                    if v is d or v not in candidates:
+                        continue
+                    if move_src is not None and v == move_src:
+                        continue  # coalescing-friendly: a copy may share
+                    info.interfere(d, v)
+    info.all_calls.reverse()
+    return info

@@ -1,0 +1,99 @@
+"""The priority function of priority-based coloring, extended per-register.
+
+Chow-Hennessy priority of a live range is (savings / area): the loop-
+weighted memory operations avoided by keeping the value in a register,
+normalised by the range's size.  The paper's Section 2 extension computes
+a priority for each (live range, register) pair, because under IPRA the
+*cost* of a specific register depends on whether callees clobber it at the
+calls the range spans:
+
+    priority(v, r) = (benefit(v) + bonus(v, r) - cost(v, r)) / span(v)
+
+* ``benefit``  -- loads/stores avoided by register residence;
+* ``bonus``    -- parameter-passing preference (Section 4): choosing the
+  register a value must occupy at a call boundary deletes a move;
+* ``cost``     -- save/restore pairs around spanned calls that clobber r,
+  plus (when the default convention applies) the one-time entry/exit
+  save/restore for the first use of a callee-saved register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.regalloc.context import AllocEnv
+from repro.regalloc.live_ranges import LiveRange
+from repro.ir.values import VKind, VReg
+from repro.target.registers import Register
+
+LOAD_COST = 1
+STORE_COST = 1
+MOVE_COST = 1
+SAVE_RESTORE_COST = LOAD_COST + STORE_COST
+
+
+@dataclass
+class PriorityModel:
+    """Pre-computed cost-model inputs for one procedure.
+
+    ``entry_weight`` keeps per-invocation costs (entry/exit saves, entry
+    parameter stores, global caching) in the same units as the per-block
+    reference weights.  With the static loop-depth weights it is 1; with
+    profile feedback it is the measured invocation count.
+    """
+
+    env: AllocEnv
+    #: id(call instr) -> clobber mask
+    call_clobbers: Dict[int, int] = field(default_factory=dict)
+    #: (vreg, register index) -> accumulated move-elimination bonus
+    param_bonus: Dict[Tuple[VReg, int], int] = field(default_factory=dict)
+    entry_weight: int = 1
+
+    def benefit(self, lr: LiveRange) -> int:
+        """Memory operations avoided if ``lr`` lives in a register."""
+        b = LOAD_COST * lr.use_weight + STORE_COST * lr.def_weight
+        if lr.vreg.kind is VKind.PARAM:
+            # a memory-resident parameter costs one entry store
+            b += STORE_COST * self.entry_weight
+        if lr.vreg.kind is VKind.GLOBAL:
+            # a register-resident global costs an entry load + exit store
+            b -= (LOAD_COST + STORE_COST) * self.entry_weight
+        return b
+
+    def clobber_cost(self, lr: LiveRange, reg: Register) -> int:
+        """Save/restore pairs needed around calls the range spans."""
+        bit = 1 << reg.index
+        cost = 0
+        for rc in lr.calls:
+            if self.call_clobbers[id(rc.instr)] & bit:
+                cost += SAVE_RESTORE_COST * rc.weight
+        return cost
+
+    def bonus(self, lr: LiveRange, reg: Register) -> int:
+        return self.param_bonus.get((lr.vreg, reg.index), 0)
+
+    def priority(self, lr: LiveRange, reg: Register, first_use_cost: int) -> float:
+        """The (v, r) priority; ``first_use_cost`` is the dynamic entry/exit
+        save cost (non-zero only for the first use of a callee-saved
+        register when the default convention applies)."""
+        net = (
+            self.benefit(lr)
+            + self.bonus(lr, reg)
+            - self.clobber_cost(lr, reg)
+            - first_use_cost
+        )
+        return net / lr.span
+
+    def order_key(self, lr: LiveRange) -> float:
+        """Register-independent ordering key: the optimistic priority,
+        assuming the cheapest register (no entry cost)."""
+        best_cost = min(
+            (self.clobber_cost(lr, r) for r in self.env.register_file.allocatable),
+            default=0,
+        )
+        best_bonus = max(
+            (self.bonus(lr, r) for r in self.env.register_file.allocatable),
+            default=0,
+        )
+        return (self.benefit(lr) + best_bonus - best_cost) / lr.span

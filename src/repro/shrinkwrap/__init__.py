@@ -1,0 +1,15 @@
+"""Shrink-wrapping of callee-saved register saves/restores (Section 5)."""
+
+from repro.shrinkwrap.placement import (
+    ShrinkWrapResult,
+    WrapPlacement,
+    entry_exit_placement,
+    shrink_wrap,
+)
+
+__all__ = [
+    "ShrinkWrapResult",
+    "WrapPlacement",
+    "entry_exit_placement",
+    "shrink_wrap",
+]

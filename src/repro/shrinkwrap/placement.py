@@ -1,0 +1,283 @@
+"""Shrink-wrapping callee-saved saves/restores (Section 5 of the paper).
+
+Given the APP footprint of each register of interest (the blocks where the
+register is *busy*: assigned live ranges, plus call sites whose callees
+clobber it under IPRA), this module places
+
+    SAVE_i    = ANTIN_i  & ~AVIN_i  &  AND_{j in pred(i)} ~ANTIN_j   (3.5)
+    RESTORE_i = AVOUT_i  & ~ANTOUT_i & AND_{j in succ(i)} ~AVOUT_j   (3.6)
+
+with saves at basic-block entries and restores at block exits.  Two
+refinements from the paper:
+
+* **loop smearing** -- whenever a register is used inside a loop, its APP
+  attribute is propagated over the whole loop so the wrapped region never
+  sits inside one (a save/restore per iteration would be disastrous);
+* **range extension** -- certain control-flow shapes (the paper's Fig. 2)
+  make the equations place a second save while the first is still
+  outstanding.  Rather than add new CFG nodes, the APP attribute is
+  extended to the offending blocks and the attributes re-solved, repeated
+  to a fixed point.
+
+We detect offending blocks with an abstract interpreter over the states
+{unsaved, saved, conflict}: any block where a save occurs in the saved
+state, a restore or use occurs outside it, or an exit is reached saved,
+gets APP extended.  This implements the paper's repair rule and doubles
+as a machine-checkable soundness argument (see the property tests); in
+the worst case APP covers the whole procedure and the placement
+degenerates to save-at-entry / restore-at-exits, which is trivially
+correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cfg.cfg import CFG
+from repro.cfg.loops import LoopInfo
+from repro.dataflow.antav import AntAv, solve_ant_av
+
+
+@dataclass
+class WrapPlacement:
+    """Placement for one register: save at the entry of each block in
+    ``saves``, restore at the exit of each block in ``restores``."""
+
+    saves: Set[int] = field(default_factory=set)
+    restores: Set[int] = field(default_factory=set)
+
+    @property
+    def save_at_entry(self) -> bool:
+        return 0 in self.saves
+
+
+@dataclass
+class ShrinkWrapResult:
+    """Placements per register index, plus diagnostics."""
+
+    placements: Dict[int, WrapPlacement] = field(default_factory=dict)
+    iterations: int = 0
+    extended_blocks: int = 0
+
+
+def _smear_loops(app: List[int], loops: LoopInfo) -> None:
+    """Propagate APP over every loop containing any APP block, to a fixed
+    point (nested loops can cascade)."""
+    changed = True
+    while changed:
+        changed = False
+        for loop in loops.loops:
+            mask = 0
+            for b in loop.body:
+                mask |= app[b]
+            for b in loop.body:
+                if app[b] | mask != app[b]:
+                    app[b] |= mask
+                    changed = True
+
+
+def _compute_save_restore(
+    cfg: CFG, antav: AntAv, all_mask: int
+) -> Tuple[List[int], List[int]]:
+    n = cfg.num_blocks
+    save = [0] * n
+    restore = [0] * n
+    for i in range(n):
+        pred_clear = all_mask
+        for j in cfg.preds[i]:
+            pred_clear &= ~antav.antin[j]
+        save[i] = antav.antin[i] & ~antav.avin[i] & pred_clear
+        succ_clear = all_mask
+        for j in cfg.succs[i]:
+            succ_clear &= ~antav.avout[j]
+        restore[i] = antav.avout[i] & ~antav.antout[i] & succ_clear
+    return save, restore
+
+
+_UNSAVED, _SAVED, _CONFLICT = 0, 1, 2
+
+
+def _find_violations(
+    cfg: CFG,
+    bit: int,
+    app: Sequence[int],
+    save: Sequence[int],
+    restore: Sequence[int],
+) -> Set[int]:
+    """Blocks where the placement of register ``bit`` misbehaves.
+
+    Forward abstract interpretation with per-block entry states drawn
+    from {unsaved, saved, conflict}.  Conflicts only matter where the
+    register is touched.
+    """
+    n = cfg.num_blocks
+    state: List[Optional[int]] = [None] * n   # entry state of each block
+    bad: Set[int] = set()
+    rpo = cfg.reverse_postorder()
+    exits = set(cfg.exits())
+    entry = cfg.entry
+
+    # A save scheduled at the entry block is emitted in the *prologue*
+    # (before the entry label), so it executes exactly once even when a
+    # back edge re-enters the entry block; model it as the boundary state.
+    boundary = _SAVED if save[entry] & bit else _UNSAVED
+
+    def meet(a: Optional[int], b2: Optional[int]) -> Optional[int]:
+        if a is None:
+            return b2
+        if b2 is None:
+            return a
+        return a if a == b2 else _CONFLICT
+
+    changed = True
+    while changed:
+        changed = False
+        for b in rpo:
+            in_state: Optional[int] = boundary if b == entry else None
+            for p in cfg.preds[b]:
+                ps = state[p]
+                if ps is None:
+                    continue
+                in_state = meet(
+                    in_state,
+                    _block_out_state(ps, p, bit, save, restore, entry),
+                )
+            if in_state is not None and in_state != state[b]:
+                state[b] = in_state
+                changed = True
+
+    for b in rpo:
+        s = state[b]
+        if s is None:
+            continue
+        touches = bool((save[b] | restore[b] | app[b]) & bit)
+        if s == _CONFLICT and touches:
+            bad.add(b)
+            continue
+        cur = s
+        if save[b] & bit and b != entry:   # the entry save is pre-boundary
+            if cur == _SAVED:
+                bad.add(b)       # double save
+            cur = _SAVED
+        if app[b] & bit and cur != _SAVED:
+            bad.add(b)           # use not covered by a save
+        if restore[b] & bit:
+            if cur != _SAVED:
+                bad.add(b)       # restore without save
+            cur = _UNSAVED
+        if b in exits and cur != _UNSAVED:
+            # Leaves the procedure saved on some path (a definite SAVED
+            # state, or a CONFLICT join such as the paper's Fig. 2 where
+            # one predecessor path carries an outstanding save).  Extend
+            # the range to this block so the restore migrates here.
+            bad.add(b)
+    return bad
+
+
+def _block_out_state(
+    in_state: int, b: int, bit: int,
+    save: Sequence[int], restore: Sequence[int],
+    entry: int = -1,
+) -> int:
+    # within a block the save (entry) precedes the restore (exit), so a
+    # restore determines the out-state, then a save, then the in-state;
+    # a save or restore re-synchronises a conflicting in-state.  The
+    # entry block's save lives in the prologue (pre-boundary), so it is
+    # not re-applied when a back edge re-enters the entry.
+    if restore[b] & bit:
+        return _UNSAVED
+    if save[b] & bit and b != entry:
+        return _SAVED
+    return in_state
+
+
+def shrink_wrap(
+    cfg: CFG,
+    loops: LoopInfo,
+    app_blocks: Dict[int, Set[int]],
+    smear_loops: bool = True,
+    max_iterations: int = 64,
+) -> ShrinkWrapResult:
+    """Place saves/restores for each register.
+
+    ``app_blocks`` maps register index -> set of busy block ids.  Returns
+    one :class:`WrapPlacement` per requested register (registers with an
+    empty footprint get an empty placement).
+    """
+    n = cfg.num_blocks
+    result = ShrinkWrapResult()
+    if not app_blocks:
+        return result
+
+    bits = {reg_index: 1 << reg_index for reg_index in app_blocks}
+    all_mask = 0
+    for bit in bits.values():
+        all_mask |= bit
+
+    app = [0] * n
+    for reg_index, blocks in app_blocks.items():
+        for b in blocks:
+            app[b] |= bits[reg_index]
+
+    degenerate: Set[int] = set()   # registers forced to entry/exit saves
+    for iteration in range(max_iterations):
+        result.iterations = iteration + 1
+        if smear_loops:
+            _smear_loops(app, loops)
+        antav = solve_ant_av(cfg, app, all_mask)
+        save, restore = _compute_save_restore(cfg, antav, all_mask)
+        extended = False
+        for reg_index, bit in bits.items():
+            if reg_index in degenerate:
+                continue
+            if not any(app[b] & bit for b in range(n)):
+                continue
+            bad = _find_violations(cfg, bit, app, save, restore)
+            progressed = False
+            for b in bad:
+                if not (app[b] & bit):
+                    app[b] |= bit
+                    result.extended_blocks += 1
+                    progressed = True
+                else:
+                    # the block already carries APP; widen to its
+                    # neighbourhood to force the save upward
+                    for p in cfg.preds[b]:
+                        if not (app[p] & bit):
+                            app[p] |= bit
+                            result.extended_blocks += 1
+                            progressed = True
+            if bad and not progressed:
+                # Extension saturated but the equations still cannot
+                # place this register (e.g. a back edge into the entry
+                # block): fall back to the classic protocol, which is
+                # always correct because entry saves sit in the prologue.
+                degenerate.add(reg_index)
+            extended = extended or progressed
+        if not extended:
+            break
+    else:  # pragma: no cover - bounded by APP growth
+        raise RuntimeError("shrink-wrap failed to converge")
+
+    exits = set(cfg.exits())
+    for reg_index, bit in bits.items():
+        placement = WrapPlacement()
+        if reg_index in degenerate:
+            if any(app[b] & bit for b in range(n)):
+                placement.saves.add(cfg.entry)
+                placement.restores.update(exits)
+            result.placements[reg_index] = placement
+            continue
+        for b in range(n):
+            if save[b] & bit:
+                placement.saves.add(b)
+            if restore[b] & bit:
+                placement.restores.add(b)
+        result.placements[reg_index] = placement
+    return result
+
+
+def entry_exit_placement(cfg: CFG) -> WrapPlacement:
+    """The classic convention: save at entry, restore at every exit."""
+    return WrapPlacement(saves={cfg.entry}, restores=set(cfg.exits()))

@@ -1,0 +1,18 @@
+"""Virtual-machine simulator and pixie-style statistics."""
+
+from repro.sim.simulator import (
+    ContractViolation,
+    DEFAULT_MAX_CYCLES,
+    DEFAULT_STACK_WORDS,
+    run_program,
+)
+from repro.sim.stats import RunStats, percent_reduction
+
+__all__ = [
+    "ContractViolation",
+    "DEFAULT_MAX_CYCLES",
+    "DEFAULT_STACK_WORDS",
+    "run_program",
+    "RunStats",
+    "percent_reduction",
+]

@@ -1,0 +1,19 @@
+"""Diagnostic reports: allocation tables, call-graph DOT, disassembly."""
+
+from repro.tools.reports import (
+    allocation_report,
+    call_graph_dot,
+    describe_options,
+    disassemble,
+    interference_summary,
+    program_report,
+)
+
+__all__ = [
+    "allocation_report",
+    "call_graph_dot",
+    "describe_options",
+    "disassemble",
+    "interference_summary",
+    "program_report",
+]

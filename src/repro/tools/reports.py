@@ -1,0 +1,146 @@
+"""Human-readable diagnostic reports over compiled programs.
+
+These are the reproduction's equivalent of a compiler's ``-debug``
+listings: allocation tables, interference summaries, call-graph exports
+and executable disassembly.  The examples and the CLI build on them; they
+are also handy when studying why the allocator made a particular choice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.interproc.allocator import FnPlan, ProgramPlan
+from repro.pipeline.driver import CompiledProgram
+from repro.pipeline.linker import Executable
+from repro.target.registers import registers_in_mask
+
+
+def allocation_report(plan: FnPlan) -> str:
+    """One procedure's allocation decisions as a table."""
+    alloc = plan.alloc
+    lines = [f"procedure {plan.name} [{plan.mode}]"]
+    ranges = alloc.ranges.ranges if alloc.ranges else {}
+    rows = []
+    for v in sorted(alloc.candidates, key=lambda v: v.name):
+        lr = ranges.get(v)
+        if lr is None or not lr.blocks:
+            continue
+        reg = alloc.assignment.get(v)
+        rows.append((
+            v.name,
+            v.kind.value,
+            reg.name if reg else "memory",
+            len(lr.blocks),
+            lr.use_weight,
+            lr.def_weight,
+            len(lr.calls),
+        ))
+    if rows:
+        lines.append(
+            f"  {'value':<12s} {'kind':<7s} {'location':<9s} "
+            f"{'blocks':>6s} {'uses':>6s} {'defs':>6s} {'calls':>6s}"
+        )
+        for name, kind, loc, blocks, uses, defs, calls in rows:
+            lines.append(
+                f"  {name:<12s} {kind:<7s} {loc:<9s} "
+                f"{blocks:>6d} {uses:>6d} {defs:>6d} {calls:>6d}"
+            )
+    if plan.entry_exit_saves:
+        lines.append(
+            "  entry/exit saves: "
+            + ", ".join(f"${r.name}" for r in plan.entry_exit_saves)
+        )
+    for idx, placement in sorted(plan.wrapped.items()):
+        reg = registers_in_mask(1 << idx)[0]
+        lines.append(
+            f"  shrink-wrapped ${reg.name}: saves@{sorted(placement.saves)} "
+            f"restores@{sorted(placement.restores)}"
+        )
+    if plan.summary is not None and plan.summary.closed:
+        used = ", ".join(
+            f"${r.name}" for r in registers_in_mask(plan.summary.used_mask)
+        )
+        lines.append(f"  summary (subtree may destroy): {used}")
+    return "\n".join(lines)
+
+
+def program_report(prog: CompiledProgram) -> str:
+    """Allocation report for every procedure, in processing order."""
+    parts = [f"optimisation: {describe_options(prog)}"]
+    for name in prog.plan.order:
+        parts.append(allocation_report(prog.plan.plans[name]))
+    return "\n\n".join(parts)
+
+
+def describe_options(prog: CompiledProgram) -> str:
+    o = prog.options
+    bits = [f"-O{o.opt_level}"]
+    if o.shrink_wrap:
+        bits.append("+shrink-wrap")
+    if o.ipra and not o.combine:
+        bits.append("-combining")
+    if o.ipra_globals:
+        bits.append("+modref-globals")
+    if o.block_weights is not None:
+        bits.append("+profile")
+    if len(o.register_file) != 20:
+        bits.append(f"({len(o.register_file)} regs)")
+    return " ".join(bits)
+
+
+def call_graph_dot(plan: ProgramPlan) -> str:
+    """The program call graph in Graphviz DOT form; open procedures are
+    drawn double-circled (they act as save/restore barriers)."""
+    lines = ["digraph callgraph {"]
+    cg = plan.call_graph
+    for name in plan.order:
+        shape = "doublecircle" if (cg and cg.is_open(name)) else "ellipse"
+        mode = plan.plans[name].mode
+        lines.append(f'  "{name}" [shape={shape}, label="{name}\\n{mode}"];')
+    if cg is not None:
+        for caller in plan.order:
+            for callee in sorted(cg.callees(caller)):
+                if callee in plan.plans:
+                    lines.append(f'  "{caller}" -> "{callee}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def disassemble(exe: Executable, function: Optional[str] = None) -> str:
+    """Disassemble a linked executable (optionally one function), with
+    pc values and resolved branch targets annotated by symbol."""
+    by_pc: Dict[int, List[str]] = {}
+    for label, pc in exe.labels.items():
+        by_pc.setdefault(pc, []).append(label)
+    start, end = 0, len(exe.instrs)
+    if function is not None:
+        start = exe.func_entries[function]
+        later = [p for p in exe.func_entries.values() if p > start]
+        end = min(later) if later else len(exe.instrs)
+    lines = []
+    for pc in range(start, end):
+        for label in sorted(by_pc.get(pc, ())):
+            lines.append(f"{label}:")
+        lines.append(f"  {pc:5d}  {exe.instrs[pc].render()}")
+    return "\n".join(lines)
+
+
+def interference_summary(plan: FnPlan) -> str:
+    """Degree histogram of the interference graph (allocation pressure)."""
+    alloc = plan.alloc
+    if alloc.ranges is None:
+        return f"{plan.name}: no ranges"
+    degrees = sorted(
+        (len(alloc.ranges.neighbors(v)), v.name)
+        for v in alloc.candidates
+        if v in alloc.ranges.ranges
+    )
+    if not degrees:
+        return f"{plan.name}: empty interference graph"
+    max_deg, max_name = degrees[-1]
+    avg = sum(d for d, _ in degrees) / len(degrees)
+    return (
+        f"{plan.name}: {len(degrees)} ranges, max degree {max_deg} "
+        f"({max_name}), mean degree {avg:.1f}"
+    )

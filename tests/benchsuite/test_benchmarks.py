@@ -1,0 +1,63 @@
+"""Benchmark-suite integrity tests.
+
+Every program compiles at every paper configuration, produces identical
+output everywhere, and honours the dynamic calling-convention contracts.
+The heavyweight full-suite sweep lives in ``benchmarks/``; here each
+program is checked at the three configurations that matter most for
+correctness (straight translation, intra coloring, full IPRA+SW).
+"""
+
+import pytest
+
+from repro.benchsuite import benchmark_names, load_benchmarks
+from repro.pipeline import compile_and_run, compile_program, O0, O2, O3_SW
+
+BENCHES = load_benchmarks()
+
+
+def test_registry_contains_the_papers_13_programs():
+    assert benchmark_names() == [
+        "nim", "map", "calcc", "diff", "dhrystone", "stanford", "pf",
+        "awk", "tex", "ccom", "as1", "upas", "uopt",
+    ]
+    assert set(BENCHES) == set(benchmark_names())
+
+
+def test_benchmarks_have_descriptions():
+    for b in BENCHES.values():
+        assert b.description
+        assert b.language in ("Pascal", "C", "Pascal/C")
+        assert len(b.source) > 200
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_benchmark_output_equivalence(name):
+    bench = BENCHES[name]
+    base = compile_and_run(bench.source, O0)
+    o2 = compile_and_run(bench.source, O2, check_contracts=True)
+    o3 = compile_and_run(bench.source, O3_SW, check_contracts=True)
+    assert base.output == o2.output == o3.output
+    assert base.output, "benchmarks must print results"
+
+
+@pytest.mark.parametrize("name", ["calcc", "pf", "upas"])
+def test_allocation_reduces_scalar_traffic(name):
+    bench = BENCHES[name]
+    base = compile_and_run(bench.source, O0)
+    o2 = compile_and_run(bench.source, O2)
+    assert o2.scalar_memops < base.scalar_memops
+    assert o2.cycles < base.cycles
+
+
+def test_suite_is_call_intensive():
+    # the paper picks call-intensive programs: cycles/call stays small
+    for name in ("nim", "calcc", "ccom"):
+        stats = compile_and_run(BENCHES[name].source, O2)
+        assert stats.cycles_per_call < 100
+
+
+def test_open_and_closed_procedures_both_occur():
+    # the suite must exercise both regimes of Section 3
+    prog = compile_program(BENCHES["stanford"].source, O3_SW)
+    modes = {p.mode for p in prog.plan.plans.values()}
+    assert modes == {"open", "closed"}

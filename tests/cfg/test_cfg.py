@@ -1,0 +1,80 @@
+"""CFG construction tests."""
+
+from helpers import lower
+
+from repro.cfg import build_cfg
+
+
+def cfg_of(src, name="f"):
+    return build_cfg(lower(src).functions[name])
+
+
+def test_straight_line_single_block_after_build():
+    cfg = cfg_of("func f() { var a = 1; var b = 2; }")
+    assert cfg.num_blocks >= 1
+    assert cfg.entry == 0
+    assert cfg.preds[0] == []
+
+
+def test_if_produces_diamond_edges():
+    cfg = cfg_of("func f(x) { var r; if (x) { r = 1; } else { r = 2; } return r; }")
+    entry_succs = cfg.succs[cfg.entry]
+    assert len(entry_succs) == 2
+    # the join block has two predecessors
+    join = [b for b in range(cfg.num_blocks) if len(cfg.preds[b]) == 2]
+    assert join
+
+
+def test_loop_produces_back_edge():
+    cfg = cfg_of("func f(n) { while (n > 0) { n = n - 1; } return n; }")
+    # some block must appear in its own reachable successors chain
+    rpo = cfg.reverse_postorder()
+    pos = {b: i for i, b in enumerate(rpo)}
+    back_edges = [
+        (a, b) for a in range(cfg.num_blocks) for b in cfg.succs[a]
+        if pos[b] <= pos[a]
+    ]
+    assert back_edges
+
+
+def test_exits_are_return_blocks():
+    cfg = cfg_of("func f(x) { if (x) { return 1; } return 2; }")
+    assert len(cfg.exits()) == 2
+
+
+def test_reverse_postorder_starts_at_entry_and_covers_all():
+    cfg = cfg_of(
+        """
+        func f(x) {
+            var r = 0;
+            if (x > 0) { r = 1; } else { r = 2; }
+            while (x > 0) { x = x - 1; }
+            return r;
+        }
+        """
+    )
+    rpo = cfg.reverse_postorder()
+    assert rpo[0] == cfg.entry
+    assert sorted(rpo) == list(range(cfg.num_blocks))
+
+
+def test_rpo_predecessor_before_successor_in_acyclic_graph():
+    cfg = cfg_of("func f(x) { var r; if (x) { r = 1; } else { r = 2; } return r; }")
+    pos = {b: i for i, b in enumerate(cfg.reverse_postorder())}
+    for a in range(cfg.num_blocks):
+        for b in cfg.succs[a]:
+            if pos[b] > pos[a]:
+                continue
+            # only back edges may violate ordering; this graph has none
+            raise AssertionError("acyclic graph had a back edge in RPO")
+
+
+def test_preds_and_succs_are_consistent():
+    cfg = cfg_of(
+        "func f(n) { var s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; }"
+    )
+    for a in range(cfg.num_blocks):
+        for b in cfg.succs[a]:
+            assert a in cfg.preds[b]
+        for p in cfg.preds[a]:
+            assert a in cfg.succs[p]

@@ -1,0 +1,91 @@
+"""Dominator tests on hand-built graphs."""
+
+from repro.cfg.cfg import CFG
+from repro.cfg.dominance import (
+    dominates,
+    dominator_tree_children,
+    immediate_dominators,
+)
+from repro.ir.function import BasicBlock, IRFunction
+from repro.ir.instructions import CJump, Jump, Ret
+from repro.ir.values import Const
+
+
+def build(edges, n):
+    """Build a CFG with blocks b0..b{n-1} and the given edge list."""
+    fn = IRFunction(name="g", params=[])
+    out = {}
+    for a, b in edges:
+        out.setdefault(a, []).append(b)
+    for i in range(n):
+        succs = out.get(i, [])
+        if not succs:
+            term = Ret(None)
+        elif len(succs) == 1:
+            term = Jump(f"b{succs[0]}")
+        else:
+            term = CJump(Const(1), f"b{succs[0]}", f"b{succs[1]}")
+        fn.add_block(BasicBlock(f"b{i}", [], term))
+    cfg = CFG(fn=fn)
+    cfg.blocks = list(fn.blocks)
+    cfg.index = {b.name: i for i, b in enumerate(cfg.blocks)}
+    cfg.succs = [[] for _ in range(n)]
+    cfg.preds = [[] for _ in range(n)]
+    for a, b in edges:
+        cfg.succs[a].append(b)
+        cfg.preds[b].append(a)
+    return cfg
+
+
+def test_diamond_dominators():
+    #     0
+    #    / \
+    #   1   2
+    #    \ /
+    #     3
+    cfg = build([(0, 1), (0, 2), (1, 3), (2, 3)], 4)
+    idom = immediate_dominators(cfg)
+    assert idom[0] == 0
+    assert idom[1] == 0
+    assert idom[2] == 0
+    assert idom[3] == 0  # join is dominated by the fork, not a branch
+
+
+def test_chain_dominators():
+    cfg = build([(0, 1), (1, 2), (2, 3)], 4)
+    idom = immediate_dominators(cfg)
+    assert idom == [0, 0, 1, 2]
+
+
+def test_loop_header_dominates_body():
+    # 0 -> 1 (header) -> 2 (body) -> 1; 1 -> 3 (exit)
+    cfg = build([(0, 1), (1, 2), (2, 1), (1, 3)], 4)
+    idom = immediate_dominators(cfg)
+    assert idom[2] == 1
+    assert idom[3] == 1
+    assert dominates(idom, 1, 2)
+    assert not dominates(idom, 2, 1)
+
+
+def test_dominates_is_reflexive():
+    cfg = build([(0, 1)], 2)
+    idom = immediate_dominators(cfg)
+    assert dominates(idom, 1, 1)
+    assert dominates(idom, 0, 0)
+
+
+def test_classic_cooper_example():
+    # The CHK paper's example graph (5 nodes, irreducible-ish joins)
+    edges = [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (2, 4)]
+    cfg = build(edges, 5)
+    idom = immediate_dominators(cfg)
+    assert idom[3] == 0
+    assert idom[4] == 0
+
+
+def test_dominator_tree_children():
+    cfg = build([(0, 1), (1, 2), (1, 3)], 4)
+    idom = immediate_dominators(cfg)
+    children = dominator_tree_children(idom)
+    assert children[0] == [1]
+    assert sorted(children[1]) == [2, 3]

@@ -1,0 +1,79 @@
+"""Natural-loop detection and weights."""
+
+from helpers import lower
+
+from repro.cfg import build_cfg, find_loops, WEIGHT_BASE
+
+
+def loops_of(src, name="f"):
+    cfg = build_cfg(lower(src).functions[name])
+    return cfg, find_loops(cfg)
+
+
+def test_no_loops_in_straight_line_code():
+    _, info = loops_of("func f(x) { if (x) { return 1; } return 0; }")
+    assert info.loops == []
+    assert all(d == 0 for d in info.depth)
+
+
+def test_single_while_loop_detected():
+    cfg, info = loops_of("func f(n) { while (n > 0) { n = n - 1; } return n; }")
+    assert len(info.loops) == 1
+    loop = info.loops[0]
+    assert loop.header in loop.body
+    assert len(loop.body) >= 2
+
+
+def test_loop_depth_and_weight():
+    cfg, info = loops_of(
+        """
+        func f(n) {
+            var s = 0;
+            for (var i = 0; i < n; i = i + 1) {
+                for (var j = 0; j < n; j = j + 1) {
+                    s = s + 1;
+                }
+            }
+            return s;
+        }
+        """
+    )
+    depths = sorted(set(info.depth))
+    assert depths == [0, 1, 2]
+    deepest = max(range(cfg.num_blocks), key=lambda b: info.depth[b])
+    assert info.weight(deepest) == WEIGHT_BASE ** 2
+
+
+def test_nested_loops_share_outer_body():
+    _, info = loops_of(
+        """
+        func f(n) {
+            while (n > 0) {
+                var m = n;
+                while (m > 0) { m = m - 1; }
+                n = n - 1;
+            }
+            return 0;
+        }
+        """
+    )
+    assert len(info.loops) == 2
+    inner = min(info.loops, key=lambda l: len(l.body))
+    outer = max(info.loops, key=lambda l: len(l.body))
+    assert inner.body < outer.body
+
+
+def test_weight_depth_cap():
+    src_body = "s = s + 1;"
+    for _ in range(8):
+        src_body = f"while (s < 100) {{ {src_body} s = s + 1; }}"
+    cfg, info = loops_of(f"func f() {{ var s = 0; {src_body} return s; }}")
+    assert max(info.weight(b) for b in range(cfg.num_blocks)) <= WEIGHT_BASE ** 6
+
+
+def test_self_loop():
+    # while(1){} is a one-block self loop after simplification
+    cfg, info = loops_of(
+        "func f(n) { while (n == n) { n = n + 0; } return n; }"
+    )
+    assert len(info.loops) >= 1

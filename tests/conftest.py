@@ -1,0 +1,21 @@
+"""Pytest configuration: make ``helpers`` importable and define fixtures."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+@pytest.fixture
+def fib_source() -> str:
+    return """
+    func fib(n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    func main() { print fib(12); }
+    """

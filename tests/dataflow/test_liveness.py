@@ -1,0 +1,111 @@
+"""Liveness analysis tests."""
+
+from helpers import lower
+
+from repro.cfg import build_cfg
+from repro.dataflow import (
+    compute_liveness,
+    instruction_live_sets,
+    live_across_calls,
+)
+from repro.ir.values import VKind, VReg
+
+
+def liveness_of(src, name="f", exit_live=()):
+    fn = lower(src).functions[name]
+    cfg = build_cfg(fn)
+    return cfg, compute_liveness(cfg, exit_live=exit_live)
+
+
+def names(vregs):
+    return {v.name for v in vregs}
+
+
+def test_param_live_at_entry_when_used():
+    cfg, lv = liveness_of("func f(a, b) { return a; }")
+    assert "a" in names(lv.live_in[cfg.entry])
+    assert "b" not in names(lv.live_in[cfg.entry])
+
+
+def test_variable_live_through_loop():
+    cfg, lv = liveness_of(
+        """
+        func f(n) {
+            var acc = 0;
+            while (n > 0) { acc = acc + n; n = n - 1; }
+            return acc;
+        }
+        """
+    )
+    # acc is live in the loop condition block
+    loop_blocks = [b for b in range(cfg.num_blocks) if cfg.succs[b]]
+    assert any("acc" in names(lv.live_in[b]) for b in loop_blocks)
+
+
+def test_dead_after_last_use():
+    cfg, lv = liveness_of("func f(a) { var t = a + 1; return t; }")
+    # 'a' is not live out of the block that consumes it
+    for b in cfg.exits():
+        assert "a" not in names(lv.live_out[b])
+
+
+def test_exit_live_pins_value_to_returns():
+    src = "var g; func f() { g = 1; }"
+    fn = lower(src).functions["f"]
+    g = next(v for v in fn.vregs if v.name == "g")
+    cfg = build_cfg(fn)
+    lv = compute_liveness(cfg, exit_live=[g])
+    for b in cfg.exits():
+        assert g in lv.live_out[b]
+
+
+def test_instruction_live_sets_walk_backwards():
+    src = "func f(a, b) { var x = a + b; var y = x + a; return y; }"
+    fn = lower(src).functions["f"]
+    cfg = build_cfg(fn)
+    lv = compute_liveness(cfg)
+    block = cfg.blocks[0]
+    walked = list(instruction_live_sets(block, lv.live_out[0]))
+    assert walked  # at least the two adds
+    # the first yielded item corresponds to the LAST instruction
+    last_ins, live_before, live_after = walked[0]
+    assert "y" in names(live_before) or "y" in names(live_after)
+
+
+def test_live_across_calls_excludes_result_and_args_consumed():
+    src = """
+    func g(x) { return x; }
+    func f(a, b) {
+        var r = g(a);
+        return r + b;
+    }
+    """
+    fn = lower(src).functions["f"]
+    cfg = build_cfg(fn)
+    lv = compute_liveness(cfg)
+    across = live_across_calls(cfg, lv)
+    (calls,) = [calls for calls in across.values()]
+    ins, live = calls[0]
+    assert "b" in names(live)       # b used after the call
+    assert "r" not in names(live)   # the result is defined by the call
+    assert "a" not in names(live)   # consumed by the call
+
+
+def test_value_live_across_two_calls():
+    src = """
+    func g(x) { return x; }
+    func f(a) {
+        var s = a * 2;
+        g(1);
+        g(2);
+        return s;
+    }
+    """
+    fn = lower(src).functions["f"]
+    cfg = build_cfg(fn)
+    lv = compute_liveness(cfg)
+    across = live_across_calls(cfg, lv)
+    all_calls = [c for calls in across.values() for c in calls]
+    assert len(all_calls) == 2
+    for _, live in all_calls:
+        assert "s" in names(live)

@@ -1,0 +1,114 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.frontend import LexError, TokKind, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src)[:-1]]
+
+
+def test_empty_source_yields_only_eof():
+    toks = tokenize("")
+    assert len(toks) == 1
+    assert toks[0].kind is TokKind.EOF
+
+
+def test_integer_literal_value():
+    tok = tokenize("12345")[0]
+    assert tok.kind is TokKind.INT
+    assert tok.value == 12345
+
+
+def test_identifier_and_keyword_distinction():
+    toks = tokenize("var variable whileish while")
+    assert toks[0].kind is TokKind.KEYWORD
+    assert toks[1].kind is TokKind.IDENT
+    assert toks[2].kind is TokKind.IDENT  # prefix of keyword is an ident
+    assert toks[3].kind is TokKind.KEYWORD
+
+
+def test_underscore_identifiers():
+    toks = tokenize("_x x_1 __foo__")
+    assert all(t.kind is TokKind.IDENT for t in toks[:-1])
+
+
+def test_two_char_operators_lex_greedily():
+    assert texts("a<=b") == ["a", "<=", "b"]
+    assert texts("a< =b") == ["a", "<", "=", "b"]
+    assert texts("x<<2>>1") == ["x", "<<", "2", ">>", "1"]
+    assert texts("a&&b||!c") == ["a", "&&", "b", "||", "!", "c"]
+    assert texts("a != b == c") == ["a", "!=", "b", "==", "c"]
+
+
+def test_char_literals():
+    toks = tokenize("'a' '0' 'Z'")
+    assert [t.value for t in toks[:-1]] == [ord("a"), ord("0"), ord("Z")]
+
+
+def test_char_escapes():
+    toks = tokenize(r"'\n' '\t' '\0' '\\' '\''")
+    assert [t.value for t in toks[:-1]] == [10, 9, 0, 92, 39]
+
+
+def test_unknown_escape_rejected():
+    with pytest.raises(LexError):
+        tokenize(r"'\q'")
+
+
+def test_unterminated_char_literal_rejected():
+    with pytest.raises(LexError):
+        tokenize("'ab'")
+    with pytest.raises(LexError):
+        tokenize("'")
+
+
+def test_line_comments_are_skipped():
+    assert texts("a // comment here\nb") == ["a", "b"]
+
+
+def test_block_comments_are_skipped():
+    assert texts("a /* multi\nline */ b") == ["a", "b"]
+
+
+def test_unterminated_block_comment_rejected():
+    with pytest.raises(LexError):
+        tokenize("/* never ends")
+
+
+def test_line_and_column_tracking():
+    toks = tokenize("ab\n  cd")
+    assert (toks[0].line, toks[0].col) == (1, 1)
+    assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+def test_column_tracking_after_block_comment():
+    toks = tokenize("/* x */ y")
+    assert toks[0].text == "y"
+    assert toks[0].line == 1
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(LexError):
+        tokenize("a $ b")
+
+
+def test_error_carries_location():
+    try:
+        tokenize("ok\n  @")
+    except LexError as e:
+        assert e.line == 2
+    else:  # pragma: no cover
+        raise AssertionError("expected LexError")
+
+
+def test_all_punctuation_tokens():
+    src = "+ - * / % < > = ! & | ^ ~ ( ) { } [ ] , ;"
+    toks = tokenize(src)[:-1]
+    assert len(toks) == len(src.split())
+    assert all(t.kind is TokKind.PUNCT for t in toks)

@@ -1,0 +1,177 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.frontend import ParseError, parse
+from repro.frontend import ast_nodes as ast
+
+
+def parse_fn(body: str) -> ast.FuncDecl:
+    mod = parse(f"func f() {{ {body} }}")
+    return mod.functions[0]
+
+
+def first_stmt(body: str) -> ast.Stmt:
+    return parse_fn(body).body.stmts[0]
+
+
+def expr_of(src: str) -> ast.Expr:
+    stmt = first_stmt(f"x = {src};")
+    assert isinstance(stmt, ast.Assign)
+    return stmt.value
+
+
+def test_module_level_declarations():
+    mod = parse(
+        """
+        var g = 3;
+        var h = -4;
+        array a[10];
+        extern func e(2);
+        func f(x, y) { return x; }
+        """
+    )
+    assert mod.globals[0].init == 3
+    assert mod.globals[1].init == -4
+    assert mod.arrays[0].size == 10
+    assert mod.externs[0].arity == 2
+    assert mod.functions[0].params == ["x", "y"]
+
+
+def test_precedence_multiplication_over_addition():
+    e = expr_of("1 + 2 * 3")
+    assert isinstance(e, ast.BinOp) and e.op == "+"
+    assert isinstance(e.right, ast.BinOp) and e.right.op == "*"
+
+
+def test_precedence_comparison_over_logic():
+    e = expr_of("a < b && c > d")
+    assert e.op == "&&"
+    assert e.left.op == "<"
+    assert e.right.op == ">"
+
+
+def test_left_associativity():
+    e = expr_of("10 - 4 - 3")
+    assert e.op == "-"
+    assert isinstance(e.left, ast.BinOp) and e.left.op == "-"
+    assert isinstance(e.right, ast.IntLit) and e.right.value == 3
+
+
+def test_or_binds_weaker_than_and():
+    e = expr_of("a || b && c")
+    assert e.op == "||"
+    assert e.right.op == "&&"
+
+
+def test_shift_and_bitwise_precedence():
+    e = expr_of("a | b ^ c & d << 2")
+    assert e.op == "|"
+    assert e.right.op == "^"
+    assert e.right.right.op == "&"
+    assert e.right.right.right.op == "<<"
+
+
+def test_unary_operators_nest():
+    e = expr_of("-!~x")
+    assert isinstance(e, ast.UnOp) and e.op == "-"
+    assert e.operand.op == "!"
+    assert e.operand.operand.op == "~"
+
+
+def test_parenthesised_expression():
+    e = expr_of("(1 + 2) * 3")
+    assert e.op == "*"
+    assert e.left.op == "+"
+
+
+def test_call_with_arguments():
+    e = expr_of("g(1, x, h(2))")
+    assert isinstance(e, ast.Call)
+    assert len(e.args) == 3
+    assert isinstance(e.args[2], ast.Call)
+
+
+def test_function_reference():
+    e = expr_of("&g")
+    assert isinstance(e, ast.FuncRef) and e.name == "g"
+
+
+def test_array_indexing_expression():
+    e = expr_of("a[i + 1]")
+    assert isinstance(e, ast.Index)
+    assert isinstance(e.index, ast.BinOp)
+
+
+def test_array_assignment_statement():
+    stmt = first_stmt("a[i] = 5;")
+    assert isinstance(stmt, ast.ArrayAssign)
+
+
+def test_bare_index_expression_statement():
+    stmt = first_stmt("a[i];")
+    assert isinstance(stmt, ast.ExprStmt)
+    assert isinstance(stmt.expr, ast.Index)
+
+
+def test_if_else_chain():
+    stmt = first_stmt("if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }")
+    assert isinstance(stmt, ast.If)
+    assert isinstance(stmt.orelse, ast.If)
+    assert isinstance(stmt.orelse.orelse, ast.Block)
+
+
+def test_while_and_nested_blocks():
+    stmt = first_stmt("while (a < 10) { a = a + 1; b = b * 2; }")
+    assert isinstance(stmt, ast.While)
+    assert len(stmt.body.stmts) == 2
+
+
+def test_for_with_var_init():
+    stmt = first_stmt("for (var i = 0; i < 10; i = i + 1) { x = i; }")
+    assert isinstance(stmt, ast.For)
+    assert isinstance(stmt.init, ast.LocalVar)
+    assert isinstance(stmt.step, ast.Assign)
+
+
+def test_for_with_empty_sections():
+    stmt = first_stmt("for (;;) { break; }")
+    assert isinstance(stmt, ast.For)
+    assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+
+def test_return_with_and_without_value():
+    fn = parse_fn("return 1; return;")
+    assert isinstance(fn.body.stmts[0], ast.Return)
+    assert fn.body.stmts[0].value is not None
+    assert fn.body.stmts[1].value is None
+
+
+def test_local_array_statement():
+    stmt = first_stmt("array t[8];")
+    assert isinstance(stmt, ast.LocalArray) and stmt.size == 8
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "func f( {",
+        "func f() { x = ; }",
+        "func f() { if a { } }",
+        "func f() { return 1 }",
+        "func f() { a[1 = 2; }",
+        "var x",
+        "array a[];",
+        "func f() { var 1x; }",
+        "notadecl;",
+        "func f() { x = (1 + ; }",
+    ],
+)
+def test_syntax_errors_raise(bad):
+    with pytest.raises(ParseError):
+        parse(bad)
+
+
+def test_unterminated_block_is_rejected():
+    with pytest.raises(ParseError):
+        parse("func f() { x = 1;")

@@ -1,0 +1,114 @@
+"""Semantic analysis unit tests."""
+
+import pytest
+
+from repro.frontend import SemanticError, analyze, parse
+
+
+def check(src: str):
+    return analyze(parse(src))
+
+
+def test_module_info_contents():
+    info = check(
+        """
+        var g = 7;
+        array a[4];
+        extern func e(1);
+        func f(x) { return x + g; }
+        func main() { print f(1); }
+        """
+    )
+    assert info.globals == {"g": 7}
+    assert info.arrays == {"a": 4}
+    assert info.externs == {"e": 1}
+    assert info.functions["f"].arity == 1
+    assert "f" in info.functions["main"].direct_callees
+
+
+def test_locals_recorded_in_order():
+    info = check("func f() { var a; var b = 1; var c; }")
+    assert info.functions["f"].locals == ["a", "b", "c"]
+
+
+def test_local_array_recorded():
+    info = check("func f() { array t[6]; t[0] = 1; }")
+    assert info.functions["f"].local_arrays == {"t": 6}
+
+
+def test_indirect_call_marked():
+    info = check(
+        """
+        func g(x) { return x; }
+        func f() { var p = &g; return p(3); }
+        """
+    )
+    call_info = info.functions["f"]
+    assert call_info.has_indirect_call
+    assert "g" in info.address_taken
+
+
+def test_direct_call_not_address_taken():
+    info = check("func g() {} func f() { g(); }")
+    assert info.address_taken == set()
+
+
+@pytest.mark.parametrize(
+    "bad,fragment",
+    [
+        ("func f() { return x; }", "undefined variable"),
+        ("func f() { x = 1; }", "undefined variable"),
+        ("func f() { return a[0]; }", "undefined array"),
+        ("func f() { a[0] = 1; }", "undefined array"),
+        ("func f() { return g(); }", "undefined function"),
+        ("func g(x) {} func f() { g(); }", "expects 1 argument"),
+        ("func g() {} func f() { g(1, 2); }", "expects 0 argument"),
+        ("func f() { var x; var x; }", "duplicate local"),
+        ("func f(x, x) {}", "duplicate parameter"),
+        ("var g = 1; var g = 2;", "duplicate global"),
+        ("array a[3]; array a[4];", "duplicate global"),
+        ("func f() {} func f() {}", "duplicate function"),
+        ("func f() { break; }", "break outside"),
+        ("func f() { continue; }", "continue outside"),
+        ("array a[3]; func f() { a = 1; }", "cannot assign to array"),
+        ("array a[3]; func f() { return a; }", "used without index"),
+        ("func g() {} func f() { return g; }", "used as a value"),
+        ("func f() { var p = &nosuch; }", "not a function"),
+        ("array a[0];", "positive size"),
+        ("func f() { array t[0]; }", "positive size"),
+        ("var g = 1; func g() {}", "duplicate function"),
+    ],
+)
+def test_semantic_errors(bad, fragment):
+    with pytest.raises(SemanticError) as exc:
+        check(bad)
+    assert fragment in str(exc.value)
+
+
+def test_local_shadows_global():
+    info = check("var x = 1; func f() { var x = 2; return x; }")
+    assert "x" in info.functions["f"].locals
+
+
+def test_break_inside_nested_loop_ok():
+    check("func f() { while (1) { for (;;) { break; } break; } }")
+
+
+def test_param_shadows_nothing_and_counts():
+    info = check("func f(a, b, c, d, e, g) { return a+b+c+d+e+g; }")
+    assert info.functions["f"].arity == 6
+
+
+def test_call_through_parameter_is_indirect():
+    info = check("func g() {} func f(p) { p(); }")
+    assert info.functions["f"].has_indirect_call
+
+
+def test_extern_call_arity_checked():
+    with pytest.raises(SemanticError):
+        check("extern func e(2); func f() { e(1); }")
+
+
+def test_extern_address_can_be_taken():
+    info = check("extern func e(0); func f() { var p = &e; p(); }")
+    assert "e" in info.address_taken

@@ -1,0 +1,42 @@
+"""Shared helpers for the test suite (importable as ``import helpers``)."""
+
+from __future__ import annotations
+
+from repro.frontend import analyze, parse
+from repro.ir import lower_module, optimize_module
+from repro.pipeline import (
+    compile_and_run,
+    O0,
+    O1,
+    O2,
+    O2_SW,
+    O3,
+    O3_SW,
+)
+
+ALL_LEVELS = [O0, O1, O2, O2_SW, O3, O3_SW]
+LEVEL_IDS = ["O0", "O1", "O2", "O2_SW", "O3", "O3_SW"]
+
+
+def lower(source: str, name: str = "test"):
+    """Parse/analyze/lower a source string to an IR module."""
+    return lower_module(analyze(parse(source, name)))
+
+
+def lower_opt(source: str, name: str = "test"):
+    mod = lower(source, name)
+    optimize_module(mod)
+    return mod
+
+
+def run_all_levels(source, check_contracts: bool = True):
+    """Compile and run a program at every optimisation level; assert the
+    outputs agree and return the level->stats mapping."""
+    stats = {}
+    for options, tag in zip(ALL_LEVELS, LEVEL_IDS):
+        stats[tag] = compile_and_run(
+            source, options, check_contracts=check_contracts
+        )
+    outputs = {tuple(s.output) for s in stats.values()}
+    assert len(outputs) == 1, f"outputs diverge: {outputs}"
+    return stats

@@ -1,0 +1,124 @@
+"""Call graph, open/closed classification, DFS ordering (Section 3)."""
+
+from helpers import lower
+
+from repro.interproc import build_call_graph, dfs_postorder
+
+
+def cg_of(src, **kwargs):
+    return build_call_graph(lower(src), **kwargs)
+
+
+def test_entry_point_is_always_open():
+    cg = cg_of("func main() {}")
+    assert cg.is_open("main")
+
+
+def test_leaf_procedures_are_closed():
+    cg = cg_of("func leaf() {} func main() { leaf(); }")
+    assert cg.is_closed("leaf")
+    assert cg.is_open("main")
+
+
+def test_self_recursion_is_open():
+    cg = cg_of(
+        """
+        func r(n) { if (n > 0) { r(n - 1); } return n; }
+        func main() { r(5); }
+        """
+    )
+    assert cg.is_open("r")
+
+
+def test_mutual_recursion_scc_is_open():
+    cg = cg_of(
+        """
+        func even(n) { if (n == 0) { return 1; } return odd(n - 1); }
+        func odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+        func helper(x) { return x + 1; }
+        func main() { print even(8) + helper(1); }
+        """
+    )
+    assert cg.is_open("even")
+    assert cg.is_open("odd")
+    assert cg.is_closed("helper")
+
+
+def test_address_taken_is_open():
+    cg = cg_of(
+        """
+        func cb(x) { return x; }
+        func plain(x) { return x; }
+        func main() { var p = &cb; p(1); plain(2); }
+        """
+    )
+    assert cg.is_open("cb")
+    assert cg.is_closed("plain")
+
+
+def test_externally_visible_makes_everything_open():
+    cg = cg_of(
+        "func a() {} func b() { a(); } func main() { b(); }",
+        externally_visible=True,
+    )
+    assert cg.is_open("a") and cg.is_open("b") and cg.is_open("main")
+
+
+def test_edges_and_reverse_edges():
+    cg = cg_of(
+        "func a() {} func b() { a(); } func main() { a(); b(); }"
+    )
+    assert cg.callees("main") == {"a", "b"}
+    assert cg.callers("a") == {"b", "main"}
+
+
+def test_dfs_postorder_callees_first():
+    cg = cg_of(
+        """
+        func d() {}
+        func c() { d(); }
+        func b() { d(); }
+        func a() { b(); c(); }
+        func main() { a(); }
+        """
+    )
+    order = dfs_postorder(cg)
+    pos = {n: i for i, n in enumerate(order)}
+    assert pos["d"] < pos["b"]
+    assert pos["d"] < pos["c"]
+    assert pos["b"] < pos["a"]
+    assert pos["c"] < pos["a"]
+    assert pos["a"] < pos["main"]
+    assert set(order) == {"a", "b", "c", "d", "main"}
+
+
+def test_unreachable_functions_still_ordered():
+    cg = cg_of(
+        """
+        func orphan_leaf() {}
+        func orphan() { orphan_leaf(); }
+        func main() {}
+        """
+    )
+    order = dfs_postorder(cg)
+    assert set(order) == {"orphan_leaf", "orphan", "main"}
+    assert order.index("orphan_leaf") < order.index("orphan")
+
+
+def test_deep_recursion_cycle_detected_iteratively():
+    # a long cycle a0 -> a1 -> ... -> a60 -> a0 (no recursion limit issues)
+    n = 60
+    parts = []
+    for i in range(n):
+        nxt = (i + 1) % n
+        parts.append(f"func a{i}() {{ a{nxt}(); }}")
+    parts.append("func main() { a0(); }")
+    cg = cg_of("\n".join(parts))
+    for i in range(n):
+        assert cg.is_open(f"a{i}")
+
+
+def test_calls_to_externs_do_not_break_graph():
+    cg = cg_of("extern func e(0); func main() { e(); }")
+    assert "e" in cg.callees("main")
+    assert cg.is_open("main")

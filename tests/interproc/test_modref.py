@@ -1,0 +1,129 @@
+"""Mod/ref global-summary tests (extension)."""
+
+from helpers import lower_opt, run_all_levels
+
+from repro.interproc.modref import (
+    cacheable_globals,
+    own_global_refs,
+    subtree_global_refs,
+    TOUCHES_ALL,
+)
+from repro.pipeline import compile_and_run, compile_program, O3_SW
+
+
+SRC = """
+var g1 = 0;
+var g2 = 0;
+func pure(x) { return x + 1; }
+func touches_g1(x) { g1 = g1 + x; return g1; }
+func caller_pure(x) { g2 = g2 + pure(x); return g2; }
+func caller_dirty(x) { g2 = g2 + touches_g1(x); return g2; }
+func recur(n) { if (n > 0) { return recur(n - 1); } return g1; }
+func main() {
+    print caller_pure(1);
+    print caller_dirty(2);
+    print recur(3);
+}
+"""
+
+
+def functions():
+    return lower_opt(SRC).functions
+
+
+def test_own_refs():
+    fns = functions()
+    assert own_global_refs(fns["pure"]) == set()
+    assert own_global_refs(fns["touches_g1"]) == {"g1"}
+    assert own_global_refs(fns["caller_pure"]) == {"g2"}
+
+
+def test_subtree_refs_accumulate():
+    fns = functions()
+    known = {}
+    known["pure"] = subtree_global_refs(fns["pure"], known)
+    known["touches_g1"] = subtree_global_refs(fns["touches_g1"], known)
+    assert known["pure"] == frozenset()
+    assert known["touches_g1"] == frozenset({"g1"})
+    assert subtree_global_refs(fns["caller_dirty"], known) == frozenset(
+        {"g1", "g2"}
+    )
+
+
+def test_unknown_callee_means_touches_all():
+    fns = functions()
+    # recur calls itself; with no summary for it the result is TOUCHES_ALL
+    assert subtree_global_refs(fns["recur"], {}) is TOUCHES_ALL
+
+
+def test_cacheable_globals():
+    fns = functions()
+    known = {"pure": frozenset(), "touches_g1": frozenset({"g1"})}
+    assert cacheable_globals(fns["caller_pure"], known) == {"g2"}
+    # caller_dirty's callee touches g1 but not g2: g2 is still cacheable
+    assert cacheable_globals(fns["caller_dirty"], known) == {"g2"}
+    # unknown callee blocks everything
+    assert cacheable_globals(fns["recur"], {}) == set()
+
+
+def test_indirect_call_blocks_caching():
+    src = """
+    var g = 0;
+    func cb() { return 1; }
+    func f(p) { g = g + p(); return g; }
+    func main() { var q = &cb; print f(q); }
+    """
+    fns = lower_opt(src).functions
+    assert cacheable_globals(fns["f"], {"cb": frozenset()}) == set()
+    assert subtree_global_refs(fns["f"], {"cb": frozenset()}) is TOUCHES_ALL
+
+
+def test_extension_preserves_behaviour():
+    base = compile_and_run(SRC, O3_SW, check_contracts=True)
+    ext = compile_and_run(
+        SRC, O3_SW.with_(ipra_globals=True), check_contracts=True
+    )
+    assert base.output == ext.output
+    assert ext.scalar_memops <= base.scalar_memops
+
+
+def test_extension_caches_global_across_safe_calls():
+    src = """
+    var acc = 0;
+    func pure(x) { return x * 2; }
+    func hot(n) {
+        for (var i = 0; i < n; i = i + 1) { acc = acc + pure(i); }
+        return acc;
+    }
+    func main() { print hot(50); }
+    """
+    prog = compile_program(src, O3_SW.with_(ipra_globals=True))
+    hot_alloc = prog.plan.plans["hot"].alloc
+    assert any(v.name == "acc" for v in hot_alloc.assignment)
+    assert prog.run(check_contracts=True).output == [2450]
+
+
+def test_extension_does_not_cache_dirty_global():
+    src = """
+    var acc = 0;
+    func dirty(x) { acc = acc + 1; return x; }
+    func hot(n) {
+        for (var i = 0; i < n; i = i + 1) { acc = acc + dirty(i); }
+        return acc;
+    }
+    func main() { print hot(10); }
+    """
+    prog = compile_program(src, O3_SW.with_(ipra_globals=True))
+    hot_alloc = prog.plan.plans["hot"].alloc
+    assert not any(v.name == "acc" for v in hot_alloc.assignment)
+    base = compile_and_run(src, O3_SW, check_contracts=True)
+    ext = prog.run(check_contracts=True)
+    assert base.output == ext.output
+
+
+def test_random_levels_with_extension(fib_source):
+    base = compile_and_run(fib_source, O3_SW, check_contracts=True)
+    ext = compile_and_run(
+        fib_source, O3_SW.with_(ipra_globals=True), check_contracts=True
+    )
+    assert base.output == ext.output

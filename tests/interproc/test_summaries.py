@@ -1,0 +1,63 @@
+"""Usage-summary data structure tests."""
+
+import pytest
+
+from repro.interproc import ParamSpec, ProcSummary, default_param_specs, default_summary
+from repro.target.registers import (
+    DEFAULT_CLOBBER_MASK,
+    PARAM_REGS,
+    reg,
+    V0,
+)
+
+
+def test_default_param_specs_first_four_in_registers():
+    specs = default_param_specs(6)
+    assert [s.reg for s in specs[:4]] == list(PARAM_REGS)
+    assert specs[4].on_stack and specs[4].stack_slot == 4
+    assert specs[5].on_stack and specs[5].stack_slot == 5
+
+
+def test_stack_slot_requires_stack_param():
+    spec = ParamSpec(pos=0, reg=reg("a0"))
+    with pytest.raises(ValueError):
+        spec.stack_slot
+
+
+def test_dead_param_is_not_on_stack():
+    spec = ParamSpec(pos=2, dead=True)
+    assert not spec.on_stack
+
+
+def test_default_summary_assumes_default_clobber():
+    s = default_summary("x", 2)
+    assert s.used_mask == DEFAULT_CLOBBER_MASK
+    assert not s.closed
+    assert len(s.params) == 2
+
+
+def test_staging_mask_counts_live_register_params():
+    s = ProcSummary(
+        name="f",
+        closed=True,
+        used_mask=0,
+        params=[
+            ParamSpec(pos=0, reg=reg("s3")),
+            ParamSpec(pos=1, dead=True),
+            ParamSpec(pos=2, reg=None),
+        ],
+    )
+    assert s.staging_mask() == 1 << reg("s3").index
+
+
+def test_call_clobber_mask_includes_staging_and_v0():
+    s = ProcSummary(
+        name="f",
+        closed=True,
+        used_mask=1 << reg("t0").index,
+        params=[ParamSpec(pos=0, reg=reg("a1"))],
+    )
+    m = s.call_clobber_mask()
+    assert m & (1 << reg("t0").index)
+    assert m & (1 << reg("a1").index)
+    assert m & (1 << V0.index)

@@ -1,0 +1,70 @@
+"""Word arithmetic semantics (C-style truncating division etc.)."""
+
+import pytest
+
+from repro.ir.arith import (
+    BINOPS,
+    MachineTrap,
+    sdiv,
+    shift_left,
+    shift_right,
+    srem,
+    UNOPS,
+)
+
+
+@pytest.mark.parametrize(
+    "a,b,q",
+    [(17, 5, 3), (-17, 5, -3), (17, -5, -3), (-17, -5, 3), (0, 3, 0),
+     (6, 3, 2), (-6, 3, -2), (1, 2, 0), (-1, 2, 0)],
+)
+def test_sdiv_truncates_toward_zero(a, b, q):
+    assert sdiv(a, b) == q
+
+
+@pytest.mark.parametrize(
+    "a,b,r",
+    [(17, 5, 2), (-17, 5, -2), (17, -5, 2), (-17, -5, -2), (0, 3, 0)],
+)
+def test_srem_sign_follows_dividend(a, b, r):
+    assert srem(a, b) == r
+
+
+def test_division_identity():
+    for a in range(-20, 21):
+        for b in (-7, -3, -1, 1, 2, 9):
+            assert sdiv(a, b) * b + srem(a, b) == a
+
+
+def test_divide_by_zero_traps():
+    with pytest.raises(MachineTrap):
+        sdiv(1, 0)
+    with pytest.raises(MachineTrap):
+        srem(1, 0)
+
+
+def test_shifts():
+    assert shift_left(3, 4) == 48
+    assert shift_right(-8, 1) == -4   # arithmetic shift
+    assert shift_right(7, 1) == 3
+
+
+def test_shift_out_of_range_traps():
+    with pytest.raises(MachineTrap):
+        shift_left(1, -1)
+    with pytest.raises(MachineTrap):
+        shift_right(1, 64)
+
+
+def test_comparison_ops_return_ints():
+    assert BINOPS["<"](1, 2) == 1
+    assert BINOPS[">="](1, 2) == 0
+    assert BINOPS["=="](5, 5) == 1
+    assert BINOPS["!="](5, 5) == 0
+
+
+def test_unops():
+    assert UNOPS["-"](5) == -5
+    assert UNOPS["!"](0) == 1
+    assert UNOPS["!"](7) == 0
+    assert UNOPS["~"](0) == -1

@@ -1,0 +1,171 @@
+"""Lowering tests: AST -> IR structure."""
+
+from helpers import lower
+
+from repro.ir import (
+    Bin,
+    Call,
+    CallInd,
+    CJump,
+    Jump,
+    LoadFunc,
+    LoadIdx,
+    Mov,
+    Ret,
+    StoreIdx,
+    VKind,
+    verify_module,
+)
+
+
+def fn_of(src, name="f"):
+    mod = lower(src)
+    verify_module(mod)
+    return mod.functions[name]
+
+
+def all_instrs(fn):
+    return list(fn.instructions())
+
+
+def test_simple_assignment_lowers_to_mov():
+    fn = fn_of("func f() { var x = 3; }")
+    movs = [i for i in all_instrs(fn) if isinstance(i, Mov)]
+    assert len(movs) == 1
+    assert movs[0].dst.name == "x"
+
+
+def test_binary_expression_creates_temp():
+    fn = fn_of("func f(a, b) { return a + b; }")
+    bins = [i for i in all_instrs(fn) if isinstance(i, Bin)]
+    assert len(bins) == 1
+    assert bins[0].dst.is_temp
+
+
+def test_param_vregs_have_positions():
+    fn = fn_of("func f(a, b, c) {}")
+    params = fn.param_vregs
+    assert [p.name for p in params] == ["a", "b", "c"]
+    assert [p.index for p in params] == [0, 1, 2]
+    assert all(p.kind is VKind.PARAM for p in params)
+
+
+def test_global_reference_has_global_kind():
+    fn = fn_of("var g; func f() { return g; }")
+    ret = fn.blocks[0].terminator
+    assert isinstance(ret, Ret)
+    assert ret.value.kind is VKind.GLOBAL
+
+
+def test_short_circuit_and_creates_branches():
+    fn = fn_of("func f(a, b) { if (a && b) { return 1; } return 0; }")
+    # must have at least two conditional branches (one per operand)
+    cjumps = [b.terminator for b in fn.blocks if isinstance(b.terminator, CJump)]
+    assert len(cjumps) >= 2
+
+
+def test_short_circuit_value_materialises_temp():
+    fn = fn_of("func f(a, b) { var x = a || b; return x; }")
+    movs = [i for i in all_instrs(fn) if isinstance(i, Mov)]
+    # 0/1 materialisation plus the assignment
+    consts = [m for m in movs if getattr(m.src, "value", None) in (0, 1)]
+    assert len(consts) >= 2
+
+
+def test_while_loop_structure():
+    fn = fn_of("func f(n) { while (n > 0) { n = n - 1; } return n; }")
+    names = [b.name for b in fn.blocks]
+    assert any(n.startswith("wcond") for n in names)
+    assert any(n.startswith("wbody") for n in names)
+
+
+def test_for_loop_continue_jumps_to_step():
+    fn = fn_of(
+        """
+        func f() {
+            var s = 0;
+            for (var i = 0; i < 10; i = i + 1) {
+                if (i == 5) { continue; }
+                s = s + i;
+            }
+            return s;
+        }
+        """
+    )
+    step_blocks = [b.name for b in fn.blocks if b.name.startswith("fstep")]
+    assert len(step_blocks) == 1
+    target = step_blocks[0]
+    jumps = [
+        b.terminator for b in fn.blocks
+        if isinstance(b.terminator, Jump) and b.terminator.target == target
+    ]
+    assert len(jumps) >= 2  # loop-end jump plus the continue
+
+
+def test_break_exits_loop():
+    fn = fn_of("func f() { while (1) { break; } return 7; }")
+    # unreachable loop tail removed; function must still verify and return
+    assert any(isinstance(b.terminator, Ret) for b in fn.blocks)
+
+
+def test_dead_code_after_return_dropped():
+    fn = fn_of("func f() { return 1; return 2; }")
+    rets = [b.terminator for b in fn.blocks if isinstance(b.terminator, Ret)]
+    assert len(rets) == 1
+
+
+def test_array_access_lowering():
+    fn = fn_of("array a[5]; func f(i) { a[i] = a[i+1]; }")
+    instrs = all_instrs(fn)
+    assert any(isinstance(i, LoadIdx) for i in instrs)
+    assert any(isinstance(i, StoreIdx) for i in instrs)
+
+
+def test_local_array_registered():
+    fn = fn_of("func f() { array t[9]; t[1] = 2; }")
+    assert fn.local_arrays == {"t": 9}
+
+
+def test_call_statement_has_no_destination():
+    fn = fn_of("func g() {} func f() { g(); }")
+    calls = [i for i in all_instrs(fn) if isinstance(i, Call)]
+    assert calls[0].dst is None
+
+
+def test_call_expression_has_destination():
+    fn = fn_of("func g() {} func f() { return g(); }")
+    calls = [i for i in all_instrs(fn) if isinstance(i, Call)]
+    assert calls[0].dst is not None
+
+
+def test_indirect_call_lowering():
+    fn = fn_of("func g(x) {} func f() { var p = &g; p(1); }")
+    instrs = all_instrs(fn)
+    assert any(isinstance(i, LoadFunc) for i in instrs)
+    assert any(isinstance(i, CallInd) for i in instrs)
+
+
+def test_function_falls_off_end_returns_none():
+    fn = fn_of("func f() { var x = 1; }")
+    last = fn.blocks[-1].terminator
+    assert isinstance(last, Ret) and last.value is None
+
+
+def test_else_if_chain_lowering():
+    fn = fn_of(
+        """
+        func f(x) {
+            if (x == 1) { return 10; }
+            else if (x == 2) { return 20; }
+            else { return 30; }
+        }
+        """
+    )
+    rets = [b.terminator for b in fn.blocks if isinstance(b.terminator, Ret)]
+    assert len(rets) == 3
+
+
+def test_unreachable_blocks_removed():
+    fn = fn_of("func f() { return 1; var x = 2; x = x + 1; }")
+    for block in fn.blocks:
+        assert not block.name.startswith("dead") or block.instrs == []

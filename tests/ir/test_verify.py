@@ -1,0 +1,102 @@
+"""IR verifier tests."""
+
+import pytest
+
+from helpers import lower
+
+from repro.ir import (
+    BasicBlock,
+    Bin,
+    Call,
+    IRFunction,
+    IRModule,
+    IRVerifyError,
+    Jump,
+    Ret,
+    VKind,
+    VReg,
+    verify_function,
+    verify_module,
+)
+from repro.ir.values import Const
+
+
+def make_fn():
+    fn = IRFunction(name="f", params=[])
+    fn.add_block(BasicBlock("entry", [], Ret(None)))
+    return fn
+
+
+def test_valid_function_passes():
+    verify_function(make_fn())
+
+
+def test_unterminated_block_rejected():
+    fn = IRFunction(name="f", params=[])
+    fn.add_block(BasicBlock("entry", [], None))
+    with pytest.raises(IRVerifyError, match="unterminated"):
+        verify_function(fn)
+
+
+def test_branch_to_undefined_block_rejected():
+    fn = IRFunction(name="f", params=[])
+    fn.add_block(BasicBlock("entry", [], Jump("nowhere")))
+    with pytest.raises(IRVerifyError, match="undefined block"):
+        verify_function(fn)
+
+
+def test_duplicate_block_name_rejected():
+    fn = IRFunction(name="f", params=[])
+    fn.add_block(BasicBlock("entry", [], Ret(None)))
+    with pytest.raises(ValueError):
+        fn.add_block(BasicBlock("entry", [], Ret(None)))
+
+
+def test_vreg_not_collected_rejected():
+    fn = IRFunction(name="f", params=[])
+    t = VReg(".t1", VKind.TEMP)
+    fn.add_block(
+        BasicBlock("entry", [Bin("+", t, Const(1), Const(2))], Ret(None))
+    )
+    # vregs set deliberately left empty
+    with pytest.raises(IRVerifyError, match="vreg"):
+        verify_function(fn)
+
+
+def test_call_arity_mismatch_rejected():
+    mod = IRModule(name="m")
+    callee = IRFunction(name="g", params=["a"])
+    callee.add_block(BasicBlock("entry", [], Ret(None)))
+    caller = IRFunction(name="f", params=[])
+    caller.add_block(
+        BasicBlock("entry", [Call("g", [Const(1), Const(2)])], Ret(None))
+    )
+    mod.add_function(callee)
+    mod.add_function(caller)
+    with pytest.raises(IRVerifyError, match="args"):
+        verify_module(mod)
+
+
+def test_call_to_unknown_function_rejected():
+    mod = IRModule(name="m")
+    caller = IRFunction(name="f", params=[])
+    caller.add_block(BasicBlock("entry", [Call("mystery", [])], Ret(None)))
+    mod.add_function(caller)
+    with pytest.raises(IRVerifyError, match="unknown function"):
+        verify_module(mod)
+
+
+def test_unknown_address_taken_rejected():
+    mod = IRModule(name="m")
+    mod.address_taken.add("ghost")
+    with pytest.raises(IRVerifyError):
+        verify_module(mod)
+
+
+def test_extern_satisfies_call_arity():
+    mod = lower("extern func e(2); func f() { e(1, 2); }")
+    verify_module(mod)
+
+
+def test_lowered_modules_always_verify(fib_source):
+    verify_module(lower(fib_source))

@@ -1,0 +1,206 @@
+"""End-to-end corner cases that historically break code generators."""
+
+from helpers import run_all_levels
+
+
+def test_indirect_call_with_many_args():
+    stats = run_all_levels(
+        """
+        func wide(a, b, c, d, e, f) {
+            return a + b * 10 + c * 100 + d * 1000 + e * 10000 + f * 100000;
+        }
+        func main() {
+            var p = &wide;
+            print p(1, 2, 3, 4, 5, 6);
+        }
+        """
+    )
+    assert stats["O0"].output == [654321]
+
+
+def test_indirect_target_held_across_staging():
+    # the target pointer must survive argument staging into a0/a1
+    stats = run_all_levels(
+        """
+        func sub2(a, b) { return a - b; }
+        func main() {
+            var p = &sub2;
+            var x = 50;
+            var y = 8;
+            print p(x, y);
+        }
+        """
+    )
+    assert stats["O0"].output == [42]
+
+
+def test_function_pointer_returned_from_call():
+    stats = run_all_levels(
+        """
+        func inc(x) { return x + 1; }
+        func dec(x) { return x - 1; }
+        func choose(which) {
+            if (which) { return &inc; }
+            return &dec;
+        }
+        func main() {
+            var f = choose(1);
+            var g = choose(0);
+            print f(10);
+            print g(10);
+        }
+        """
+    )
+    assert stats["O0"].output == [11, 9]
+
+
+def test_recursion_through_function_pointer():
+    stats = run_all_levels(
+        """
+        var self = 0;
+        func countdown(n) {
+            if (n == 0) { return 0; }
+            var f = self;
+            return f(n - 1) + 1;
+        }
+        func main() {
+            self = &countdown;
+            print countdown(25);
+        }
+        """
+    )
+    assert stats["O0"].output == [25]
+
+
+def test_deep_expression_spills_temps():
+    # a wide, deep expression tree creates many simultaneously live temps
+    expr = " + ".join(f"(a * {i} - b * {i + 1})" for i in range(1, 15))
+    stats = run_all_levels(
+        f"""
+        func f(a, b) {{ return {expr}; }}
+        func main() {{ print f(7, 3); }}
+        """
+    )
+    a, b = 7, 3
+    expected = sum(a * i - b * (i + 1) for i in range(1, 15))
+    assert stats["O0"].output == [expected]
+
+
+def test_call_results_as_nested_arguments():
+    stats = run_all_levels(
+        """
+        func add(a, b) { return a + b; }
+        func main() {
+            print add(add(add(1, 2), add(3, 4)), add(add(5, 6), add(7, 8)));
+        }
+        """
+    )
+    assert stats["O0"].output == [36]
+
+
+def test_matrix_multiply_via_flat_arrays():
+    stats = run_all_levels(
+        """
+        array m1[16];
+        array m2[16];
+        array mr[16];
+        func at(base, r, c) {
+            if (base == 0) { return m1[r * 4 + c]; }
+            return m2[r * 4 + c];
+        }
+        func main() {
+            var i;
+            for (i = 0; i < 16; i = i + 1) {
+                m1[i] = i + 1;
+                m2[i] = 16 - i;
+            }
+            var r; var c; var k;
+            var trace = 0;
+            for (r = 0; r < 4; r = r + 1) {
+                for (c = 0; c < 4; c = c + 1) {
+                    var s = 0;
+                    for (k = 0; k < 4; k = k + 1) {
+                        s = s + at(0, r, k) * at(1, k, c);
+                    }
+                    mr[r * 4 + c] = s;
+                }
+                trace = trace + mr[r * 4 + r];
+            }
+            print trace;
+        }
+        """
+    )
+    assert len({tuple(s.output) for s in stats.values()}) == 1
+
+
+def test_global_aliased_via_calls():
+    # the callee writes the global between the caller's read and re-read
+    stats = run_all_levels(
+        """
+        var g = 5;
+        func clobber() { g = 100; return 0; }
+        func main() {
+            var before = g;
+            clobber();
+            var after = g;
+            print before;
+            print after;
+        }
+        """
+    )
+    assert stats["O0"].output == [5, 100]
+
+
+def test_char_literals_and_arithmetic():
+    stats = run_all_levels(
+        """
+        func to_upper(ch) {
+            if (ch >= 'a' && ch <= 'z') { return ch - 'a' + 'A'; }
+            return ch;
+        }
+        func main() {
+            print to_upper('q');
+            print to_upper('Q');
+            print '\\n';
+        }
+        """
+    )
+    assert stats["O0"].output == [ord("Q"), ord("Q"), 10]
+
+
+def test_local_array_inside_recursion_with_big_frames():
+    stats = run_all_levels(
+        """
+        func layered(n) {
+            array buf[20];
+            var i;
+            for (i = 0; i < 20; i = i + 1) { buf[i] = n * 20 + i; }
+            var below = 0;
+            if (n > 0) { below = layered(n - 1); }
+            var s = 0;
+            for (i = 0; i < 20; i = i + 1) { s = s + buf[i]; }
+            return s + below;
+        }
+        func main() { print layered(8); }
+        """
+    )
+    expected = sum(
+        sum(n * 20 + i for i in range(20)) for n in range(9)
+    )
+    assert stats["O0"].output == [expected]
+
+
+def test_while_with_complex_short_circuit_condition():
+    stats = run_all_levels(
+        """
+        var probes = 0;
+        func check(x) { probes = probes + 1; return x < 5; }
+        func main() {
+            var i = 0;
+            while (i < 10 && check(i)) { i = i + 1; }
+            print i;
+            print probes;
+        }
+        """
+    )
+    assert stats["O0"].output == [5, 6]

@@ -1,0 +1,221 @@
+"""End-to-end driver tests: every optimisation level must agree."""
+
+import pytest
+
+from helpers import run_all_levels
+
+from repro.pipeline import compile_program, O0, O2, O3, O3_SW, PAPER_CONFIGS
+
+
+def test_arith_and_precedence():
+    stats = run_all_levels(
+        """
+        func main() {
+            print 2 + 3 * 4;
+            print (2 + 3) * 4;
+            print 10 - 2 - 3;
+            print 7 / 2;
+            print -7 / 2;
+            print 7 % 3;
+            print -7 % 3;
+            print 1 << 5;
+            print -16 >> 2;
+            print 12 & 10;
+            print 12 | 10;
+            print 12 ^ 10;
+            print ~5;
+            print !0;
+            print !3;
+        }
+        """
+    )
+    assert stats["O0"].output == [
+        14, 20, 5, 3, -3, 1, -1, 32, -4, 8, 14, 6, -6, 1, 0
+    ]
+
+
+def test_short_circuit_side_effects():
+    stats = run_all_levels(
+        """
+        var count = 0;
+        func bump() { count = count + 1; return 1; }
+        func main() {
+            var a = 0 && bump();
+            var b = 1 || bump();
+            var c = 1 && bump();
+            var d = 0 || bump();
+            print count;     // only c and d evaluated bump()
+            print a + b * 10 + c * 100 + d * 1000;
+        }
+        """
+    )
+    assert stats["O0"].output == [2, 1110]
+
+
+def test_comparison_chain():
+    stats = run_all_levels(
+        """
+        func main() {
+            var x = 5;
+            print x < 5;
+            print x <= 5;
+            print x > 4;
+            print x >= 6;
+            print x == 5;
+            print x != 5;
+        }
+        """
+    )
+    assert stats["O0"].output == [0, 1, 1, 0, 1, 0]
+
+
+def test_loops_break_continue():
+    stats = run_all_levels(
+        """
+        func main() {
+            var s = 0;
+            for (var i = 0; i < 20; i = i + 1) {
+                if (i % 2 == 0) { continue; }
+                if (i > 13) { break; }
+                s = s + i;
+            }
+            print s;
+            var j = 0;
+            while (1) {
+                j = j + 3;
+                if (j > 10) { break; }
+            }
+            print j;
+        }
+        """
+    )
+    assert stats["O0"].output == [1 + 3 + 5 + 7 + 9 + 11 + 13, 12]
+
+
+def test_recursion_and_globals():
+    stats = run_all_levels(
+        """
+        var depth_max = 0;
+        var depth = 0;
+        func walk(n) {
+            depth = depth + 1;
+            if (depth > depth_max) { depth_max = depth; }
+            var r = 0;
+            if (n > 0) { r = walk(n - 1) + walk(n - 2); } else { r = 1; }
+            depth = depth - 1;
+            return r;
+        }
+        func main() {
+            print walk(10);
+            print depth_max;
+            print depth;
+        }
+        """
+    )
+    assert stats["O0"].output[1] == 11
+    assert stats["O0"].output[2] == 0
+
+
+def test_function_pointer_dispatch_table():
+    stats = run_all_levels(
+        """
+        array ops[4];
+        func add(a, b) { return a + b; }
+        func sub(a, b) { return a - b; }
+        func mul(a, b) { return a * b; }
+        func dispatch(i, a, b) {
+            var f = ops[i];
+            return f(a, b);
+        }
+        func main() {
+            ops[0] = &add;
+            ops[1] = &sub;
+            ops[2] = &mul;
+            print dispatch(0, 7, 3);
+            print dispatch(1, 7, 3);
+            print dispatch(2, 7, 3);
+        }
+        """
+    )
+    assert stats["O0"].output == [10, 4, 21]
+
+
+def test_many_parameters_mixed_stack_register():
+    stats = run_all_levels(
+        """
+        func f8(a, b, c, d, e, f, g, h) {
+            return ((a * 10 + b) * 10 + c) * 10 + d
+                 + e * 10000 + f * 100000 + g * 1000000 + h * 10000000;
+        }
+        func main() {
+            print f8(1, 2, 3, 4, 5, 6, 7, 8);
+            print f8(8, 7, 6, 5, 4, 3, 2, 1);
+        }
+        """
+    )
+    assert len(set(map(tuple, [s.output for s in stats.values()]))) == 1
+
+
+def test_mutual_recursion():
+    stats = run_all_levels(
+        """
+        func is_even(n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+        func is_odd(n) { if (n == 0) { return 0; } return is_even(n - 1); }
+        func main() { print is_even(10); print is_even(7); }
+        """
+    )
+    assert stats["O0"].output == [1, 0]
+
+
+def test_local_arrays_are_reentrant():
+    stats = run_all_levels(
+        """
+        func rev3(a, b, c, depth) {
+            array t[3];
+            t[0] = a; t[1] = b; t[2] = c;
+            if (depth > 0) {
+                rev3(c * 10, b * 10, a * 10, depth - 1);
+            }
+            // locals must be intact after the recursive call
+            print t[0] * 100 + t[1] * 10 + t[2];
+            return 0;
+        }
+        func main() { rev3(1, 2, 3, 1); }
+        """
+    )
+    assert stats["O0"].output == [30 * 100 + 20 * 10 + 10, 123]
+
+
+def test_higher_opt_levels_never_slower_suite():
+    src = """
+    func work(a, b) { return a * b + a - b; }
+    func main() {
+        var t = 0;
+        for (var i = 0; i < 50; i = i + 1) { t = t + work(i, i + 1); }
+        print t;
+    }
+    """
+    stats = run_all_levels(src)
+    assert stats["O2"].cycles <= stats["O0"].cycles
+    assert stats["O2"].scalar_memops <= stats["O0"].scalar_memops
+    assert stats["O3"].scalar_memops <= stats["O2"].scalar_memops
+
+
+def test_paper_configs_are_runnable():
+    src = "func main() { print 9; }"
+    for name, options in PAPER_CONFIGS.items():
+        prog = compile_program(src, options)
+        assert prog.run().output == [9], name
+
+
+def test_compiled_program_exposes_plan_and_ir():
+    prog = compile_program("func main() { print 1; }", O3_SW)
+    assert "main" in prog.ir.functions
+    assert "main" in prog.plan.plans
+    assert prog.options.ipra
+
+
+def test_entry_option():
+    src = "func start() { print 3; } func main() { print 4; }"
+    prog = compile_program(src, O2.with_(entry="start"))
+    assert prog.run().output == [3]

@@ -1,0 +1,55 @@
+"""Parallel-move resolution over random register mappings (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.target.parallel_move import resolve_parallel_moves
+from repro.target.registers import ALLOCATABLE, AT2
+
+REGS = list(ALLOCATABLE)
+
+
+@st.composite
+def move_sets(draw):
+    n = draw(st.integers(0, len(REGS)))
+    dsts = draw(
+        st.lists(
+            st.sampled_from(REGS), min_size=n, max_size=n, unique_by=lambda r: r.index
+        )
+    )
+    srcs = [draw(st.sampled_from(REGS)) for _ in range(n)]
+    return list(zip(dsts, srcs))
+
+
+@settings(max_examples=300, deadline=None)
+@given(move_sets())
+def test_resolution_implements_parallel_semantics(moves):
+    seq = resolve_parallel_moves(moves, AT2)
+    state = {r.index: f"v{r.index}" for r in REGS}
+    state[AT2.index] = "scratch-garbage"
+    for dst, src in seq:
+        state[dst.index] = state[src.index]
+    for dst, src in moves:
+        assert state[dst.index] == f"v{src.index}"
+
+
+@settings(max_examples=300, deadline=None)
+@given(move_sets())
+def test_resolution_length_bounded(moves):
+    seq = resolve_parallel_moves(moves, AT2)
+    nontrivial = [m for m in moves if m[0].index != m[1].index]
+    # at most one scratch move per cycle; cycles need >= 2 moves each
+    assert len(seq) <= len(nontrivial) + max(1, len(nontrivial) // 2)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.permutations(list(range(8))))
+def test_pure_permutations(perm):
+    regs = REGS[:8]
+    moves = [(regs[i], regs[p]) for i, p in enumerate(perm)]
+    seq = resolve_parallel_moves(moves, AT2)
+    state = {r.index: f"v{r.index}" for r in REGS}
+    state[AT2.index] = "scratch"
+    for dst, src in seq:
+        state[dst.index] = state[src.index]
+    for i, p in enumerate(perm):
+        assert state[regs[i].index] == f"v{regs[p].index}"

@@ -1,0 +1,108 @@
+"""Shrink-wrap soundness on random CFGs (hypothesis).
+
+For arbitrary connected digraphs and arbitrary busy-block sets, the
+placement must satisfy the save/use/restore discipline on *every*
+execution path (checked by an independent state-enumeration verifier).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from tests_graphs import build_graph
+from wrap_check import check_placement
+
+from repro.cfg.loops import find_loops
+from repro.shrinkwrap import shrink_wrap
+
+R = 16
+
+
+@st.composite
+def cfgs(draw):
+    n = draw(st.integers(2, 10))
+    edges = set()
+    # a random spanning arborescence keeps everything reachable
+    for b in range(1, n):
+        parent = draw(st.integers(0, b - 1))
+        edges.add((parent, b))
+    extra = draw(st.integers(0, n))
+    for _ in range(extra):
+        a = draw(st.integers(0, n - 1))
+        c = draw(st.integers(0, n - 1))
+        if a != c:
+            edges.add((a, c))
+    # cap out-degree at 2 (the IR has at most two successors)
+    out = {}
+    kept = []
+    for a, c in sorted(edges):
+        if out.get(a, 0) < 2:
+            kept.append((a, c))
+            out[a] = out.get(a, 0) + 1
+    # ensure at least one exit: strip out-edges from the highest node
+    kept = [(a, c) for (a, c) in kept if a != n - 1]
+    return kept, n
+
+
+@settings(max_examples=200, deadline=None)
+@given(cfgs(), st.data())
+def test_random_placements_are_sound(cfg_spec, data):
+    edges, n = cfg_spec
+    cfg = build_graph(edges, n)
+    app = data.draw(
+        st.sets(st.integers(0, n - 1), max_size=n), label="app"
+    )
+    # drop unreachable blocks from APP (build_graph keeps all blocks; all
+    # are reachable by construction)
+    loops = find_loops(cfg)
+    smear = data.draw(st.booleans(), label="smear")
+    result = shrink_wrap(cfg, loops, {R: set(app)}, smear_loops=smear)
+    placement = result.placements[R]
+
+    # the checker walks every reachable (block, state) pair
+    effective_app = set(app)
+    if smear:
+        # smearing may have widened the busy set; the placement must
+        # still cover the original uses
+        pass
+    check_placement(cfg, effective_app, placement)
+
+
+@settings(max_examples=100, deadline=None)
+@given(cfgs(), st.data())
+def test_smeared_placement_never_saves_inside_loop(cfg_spec, data):
+    edges, n = cfg_spec
+    cfg = build_graph(edges, n)
+    loops = find_loops(cfg)
+    if not loops.loops:
+        return
+    app = data.draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=n))
+    result = shrink_wrap(cfg, loops, {R: set(app)}, smear_loops=True)
+    placement = result.placements[R]
+    for loop in loops.loops:
+        body = loop.body
+        touched = bool(app & body)
+        if not touched:
+            continue
+        # saves/restores may sit on the loop boundary blocks only if the
+        # whole region degenerated; they must never be strictly inside
+        # (i.e. a save in the body whose APP does not cover the body is
+        # impossible because APP was smeared over the body)
+        inside_saves = placement.saves & body
+        for b in inside_saves:
+            # if a save is in the body, the loop must re-save each
+            # iteration only if a restore is also inside; forbid the pair
+            assert not (placement.restores & body and len(body) > 1) or (
+                b == loop.header
+            )
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(2, 8), st.data())
+def test_full_footprint_degenerates_to_entry_exit(n, data):
+    # a chain 0 -> 1 -> ... -> n-1 busy everywhere
+    edges = [(i, i + 1) for i in range(n - 1)]
+    cfg = build_graph(edges, n)
+    loops = find_loops(cfg)
+    result = shrink_wrap(cfg, loops, {R: set(range(n))})
+    placement = result.placements[R]
+    assert placement.saves == {0}
+    assert placement.restores == {n - 1}

@@ -1,0 +1,52 @@
+"""Candidate-selection tests."""
+
+from helpers import lower_opt
+
+from repro.ir.values import VKind
+from repro.regalloc import allocation_candidates, candidate_globals
+
+
+SRC = """
+var g1 = 0;
+var g2 = 0;
+func leaf(x) { g1 = g1 + x; return g1; }
+func caller(x) { g2 = g2 + leaf(x); return g2; }
+func indirect(p) { g1 = g1 + p(); return g1; }
+func cb() { return 1; }
+func main() { print caller(1) + indirect(&cb); }
+"""
+
+
+def fns():
+    return lower_opt(SRC).functions
+
+
+def test_call_free_function_gets_global_candidates():
+    cands = allocation_candidates(fns()["leaf"])
+    assert any(v.name == "g1" for v in cands)
+
+
+def test_calling_function_excludes_globals_by_default():
+    cands = allocation_candidates(fns()["caller"])
+    assert not any(v.kind is VKind.GLOBAL for v in cands)
+    # but locals/params/temps stay in
+    assert any(v.kind is VKind.PARAM for v in cands)
+
+
+def test_allowed_globals_opt_in():
+    cands = allocation_candidates(fns()["caller"], allowed_globals={"g2"})
+    names = {v.name for v in cands if v.kind is VKind.GLOBAL}
+    assert names == {"g2"}
+
+
+def test_candidate_globals_helper():
+    cands = allocation_candidates(fns()["leaf"])
+    globs = candidate_globals(cands)
+    assert {v.name for v in globs} == {"g1"}
+    assert all(v.kind is VKind.GLOBAL for v in globs)
+
+
+def test_indirect_caller_respects_allowed_set():
+    # even with an allowed set, the function still lists only those named
+    cands = allocation_candidates(fns()["indirect"], allowed_globals=set())
+    assert not any(v.kind is VKind.GLOBAL for v in cands)

@@ -1,0 +1,153 @@
+"""Simulator tests: execution semantics, counters, traps, contracts."""
+
+import pytest
+
+from repro.ir.arith import MachineTrap
+from repro.pipeline import compile_program, O2
+from repro.sim import ContractViolation, run_program
+from repro.target.isa import MemKind
+
+
+def run(src, options=O2, **kwargs):
+    return compile_program(src, options).run(**kwargs)
+
+
+def test_print_collects_output():
+    stats = run("func main() { print 1; print 2; print 3; }")
+    assert stats.output == [1, 2, 3]
+
+
+def test_cycle_counting_mul_div_latency():
+    # globals defeat constant folding, so the operation really executes
+    add = run("var a = 12; var b = 4; func main() { print a + b; }")
+    mul = run("var a = 12; var b = 4; func main() { print a * b; }")
+    div = run("var a = 12; var b = 4; func main() { print a / b; }")
+    assert mul.cycles > add.cycles
+    assert div.cycles > mul.cycles
+    assert add.instructions == mul.instructions == div.instructions
+
+
+def test_call_counter():
+    stats = run(
+        "func g() {} func main() { g(); g(); g(); }"
+    )
+    assert stats.calls == 4  # 3 + the start stub's call to main
+
+
+def test_branch_counter():
+    stats = run(
+        "func main() { var i; for (i = 0; i < 5; i = i + 1) { } print i; }"
+    )
+    assert stats.branches >= 5
+
+
+def test_load_store_classification():
+    stats = run(
+        """
+        array a[4];
+        func main() {
+            a[0] = 1;
+            a[1] = a[0] + 1;
+            print a[1];
+        }
+        """
+    )
+    assert stats.stores.get(MemKind.DATA, 0) == 2
+    assert stats.loads.get(MemKind.DATA, 0) == 2  # a[0] and the printed a[1]
+
+
+def test_divide_by_zero_traps():
+    with pytest.raises(MachineTrap, match="divide by zero"):
+        run("func main() { var z = 0; print 1 / z; }")
+
+
+def test_rem_by_zero_traps():
+    with pytest.raises(MachineTrap, match="remainder by zero"):
+        run("func main() { var z = 0; print 1 % z; }")
+
+
+def test_out_of_range_address_traps():
+    with pytest.raises(MachineTrap, match="address"):
+        run("array a[4]; func main() { print a[2000000]; }")
+
+
+def test_negative_address_traps():
+    with pytest.raises(MachineTrap, match="address"):
+        run("array a[4]; func main() { var i = -1000000; print a[i]; }")
+
+
+def test_cycle_budget_enforced():
+    with pytest.raises(MachineTrap, match="budget"):
+        run(
+            "func main() { while (1) { } }",
+            max_cycles=10_000,
+        )
+
+
+def test_shift_out_of_range_traps():
+    with pytest.raises(MachineTrap, match="shift"):
+        run("func main() { var s = 70; print 1 << s; }")
+
+
+def test_deep_recursion_within_stack():
+    stats = run(
+        """
+        func down(n) { if (n == 0) { return 0; } return down(n - 1) + 1; }
+        func main() { print down(500); }
+        """
+    )
+    assert stats.output == [500]
+
+
+def test_contract_checker_accepts_correct_code(fib_source):
+    stats = run(fib_source, check_contracts=True)
+    assert stats.output == [144]
+
+
+def test_contract_checker_catches_violation():
+    # Build a program, then sabotage a callee's restore code.
+    prog = compile_program(
+        """
+        func g(x) { return x; }
+        func f(a) {
+            var k1 = a + 1;
+            g(1); g(2); g(3);
+            return k1;
+        }
+        func main() { print f(1); }
+        """,
+        O2,
+    )
+    exe = prog.executable
+    from repro.target.isa import Opcode
+
+    removed = False
+    for pc, ins in enumerate(exe.instrs):
+        if ins.op is Opcode.LW and ins.kind is MemKind.RESTORE \
+                and ins.rd.name.startswith("s"):
+            # corrupt the restore: load from the wrong slot
+            ins.imm = ins.imm + 1 if ins.imm is not None else 1
+            removed = True
+            break
+    if not removed:
+        pytest.skip("no callee-saved restore emitted in this build")
+    with pytest.raises(ContractViolation):
+        run_program(exe, check_contracts=True)
+
+
+def test_global_initializers_loaded():
+    stats = run("var g = 41; func main() { print g + 1; }")
+    assert stats.output == [42]
+
+
+def test_negative_global_initializer():
+    stats = run("var g = -7; func main() { print g; }")
+    assert stats.output == [-7]
+
+
+def test_stats_summary_fields():
+    stats = run("func main() { print 5; }")
+    s = stats.summary()
+    assert s["cycles"] > 0
+    assert s["instructions"] > 0
+    assert "scalar_memops" in s

@@ -1,0 +1,55 @@
+"""RunStats accounting tests."""
+
+from collections import Counter
+
+from repro.sim.stats import percent_reduction, RunStats
+from repro.target.isa import MemKind
+
+
+def make_stats():
+    s = RunStats(cycles=1000, instructions=900, calls=10)
+    s.loads = Counter(
+        {MemKind.SCALAR: 5, MemKind.RESTORE: 3, MemKind.PARAM: 2,
+         MemKind.DATA: 7}
+    )
+    s.stores = Counter(
+        {MemKind.SCALAR: 4, MemKind.SAVE: 3, MemKind.PARAM: 1,
+         MemKind.DATA: 6}
+    )
+    return s
+
+
+def test_scalar_classification_totals():
+    s = make_stats()
+    assert s.scalar_loads == 10
+    assert s.scalar_stores == 8
+    assert s.scalar_memops == 18
+    assert s.data_memops == 13
+    assert s.total_memops == 31
+
+
+def test_save_restore_totals():
+    s = make_stats()
+    assert s.save_restore_memops == 6
+
+
+def test_cycles_per_call():
+    s = make_stats()
+    assert s.cycles_per_call == 100.0
+    empty = RunStats(cycles=10)
+    assert empty.cycles_per_call == float("inf")
+
+
+def test_percent_reduction_positive_is_improvement():
+    assert percent_reduction(100, 80) == 20.0
+    assert percent_reduction(100, 120) == -20.0
+    assert percent_reduction(100, 100) == 0.0
+    assert percent_reduction(0, 50) == 0.0
+
+
+def test_summary_round_trip():
+    s = make_stats()
+    d = s.summary()
+    assert d["scalar_loads"] == 10
+    assert d["save_restore_memops"] == 6
+    assert d["cycles_per_call"] == 100.0

@@ -1,0 +1,124 @@
+"""Consolidated checks of the paper's stated invariants, run over the
+whole benchmark suite (one compilation per program, O3+SW).
+
+These are the properties the paper asserts in prose; each is verified
+mechanically against every plan the one-pass allocator produces.
+"""
+
+import pytest
+
+from repro.benchsuite import load_benchmarks
+from repro.pipeline import compile_program, O3_SW
+from repro.target.registers import (
+    CALLEE_SAVED_MASK,
+    DEFAULT_CLOBBER_MASK,
+    V0,
+)
+
+BENCHES = load_benchmarks()
+
+
+@pytest.fixture(scope="module", params=list(BENCHES))
+def program(request):
+    return compile_program(BENCHES[request.param].source, O3_SW)
+
+
+def test_dfs_order_closed_callees_first(program):
+    """Section 2: every closed procedure is processed after its callees."""
+    plan = program.plan
+    pos = {n: i for i, n in enumerate(plan.order)}
+    cg = plan.call_graph
+    for name in plan.order:
+        if cg.is_open(name):
+            continue
+        for callee in cg.callees(name):
+            if callee in pos:
+                assert pos[callee] < pos[name], (callee, name)
+
+
+def test_summaries_cover_call_subtree(program):
+    """Section 2: a summary includes 'the whole call tree rooted at that
+    procedure' -- every closed callee's summary is a subset."""
+    plan = program.plan
+    cg = plan.call_graph
+    for name, summary in plan.summaries.items():
+        if not summary.closed:
+            continue
+        for callee in cg.callees(name):
+            callee_summary = plan.summaries.get(callee)
+            if callee_summary is None:
+                continue
+            used = callee_summary.used_mask
+            if callee_summary.closed:
+                used &= ~callee_summary.saved_locally_mask
+            assert summary.used_mask & used == used, (name, callee)
+
+
+def test_open_procedures_present_default_convention(program):
+    """Section 3: open procedures do not specify usage information; the
+    allocator assumes all caller-saved used, all callee-saved unused."""
+    plan = program.plan
+    for name, summary in plan.summaries.items():
+        if plan.plans[name].mode == "open":
+            assert summary.used_mask == DEFAULT_CLOBBER_MASK
+
+
+def test_closed_procedures_never_use_entry_exit_protocol(program):
+    """Section 2/6: closed procedures run registers caller-saved; any
+    local saving is shrink-wrapped, never the classic entry/exit set."""
+    for plan in program.plan.plans.values():
+        if plan.mode == "closed":
+            assert plan.entry_exit_saves == []
+
+
+def test_saved_registers_are_covered_somewhere(program):
+    """Every callee-saved register destroyed in a procedure's frame of
+    responsibility is saved locally or reported to ancestors."""
+    plan = program.plan
+    for name, fnplan in plan.plans.items():
+        need = fnplan.alloc.own_assigned_mask & CALLEE_SAVED_MASK
+        for m in fnplan.alloc.call_clobbers.values():
+            need |= m & CALLEE_SAVED_MASK
+        covered = fnplan.saved_mask
+        if fnplan.summary is not None:
+            covered |= fnplan.summary.used_mask
+        assert need & ~covered == 0, name
+
+
+def test_wrapped_registers_reported_unused(program):
+    """Section 6: a locally wrapped register is marked unused upward."""
+    plan = program.plan
+    for name, fnplan in plan.plans.items():
+        if fnplan.mode != "closed" or fnplan.summary is None:
+            continue
+        for idx in fnplan.wrapped:
+            assert not fnplan.summary.used_mask & (1 << idx), (name, idx)
+
+
+def test_v0_always_reported_clobbered(program):
+    for summary in program.plan.summaries.values():
+        assert summary.used_mask & (1 << V0.index)
+
+
+def test_every_placement_is_sound(program):
+    """The shrink-wrap discipline holds on every wrapped placement."""
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from wrap_check import check_placement
+
+    for fnplan in program.plan.plans.values():
+        for idx, placement in fnplan.wrapped.items():
+            # the placement must be sound for the register's APP footprint
+            from repro.interproc.allocator import _app_blocks_for
+            from repro.target.registers import ALL_REGISTERS
+
+            app = _app_blocks_for(fnplan.alloc, ALL_REGISTERS[idx])
+            check_placement(fnplan.alloc.cfg, app, placement)
+
+
+def test_dynamic_contracts_hold(program):
+    """Every return in a real execution preserves what the plan promises."""
+    stats = program.run(check_contracts=True)
+    assert stats.output

@@ -1,0 +1,40 @@
+"""Hand-built CFG helper shared by dataflow/shrink-wrap tests."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cfg.cfg import CFG
+from repro.ir.function import BasicBlock, IRFunction
+from repro.ir.instructions import CJump, Jump, Ret
+from repro.ir.values import Const
+
+
+def build_graph(edges: List[Tuple[int, int]], n: int) -> CFG:
+    """Build a CFG with blocks 0..n-1 and the given edges.
+
+    Blocks with no successors become return blocks; one successor, jumps;
+    more, conditional jumps (first two targets).
+    """
+    fn = IRFunction(name="g", params=[])
+    out: Dict[int, List[int]] = {}
+    for a, b in edges:
+        out.setdefault(a, []).append(b)
+    for i in range(n):
+        succs = out.get(i, [])
+        if not succs:
+            term = Ret(None)
+        elif len(succs) == 1:
+            term = Jump(f"b{succs[0]}")
+        else:
+            term = CJump(Const(1), f"b{succs[0]}", f"b{succs[1]}")
+        fn.add_block(BasicBlock(f"b{i}", [], term))
+    cfg = CFG(fn=fn)
+    cfg.blocks = list(fn.blocks)
+    cfg.index = {b.name: i for i, b in enumerate(cfg.blocks)}
+    cfg.succs = [[] for _ in range(n)]
+    cfg.preds = [[] for _ in range(n)]
+    for a, b in edges:
+        cfg.succs[a].append(b)
+        cfg.preds[b].append(a)
+    return cfg

@@ -1,0 +1,73 @@
+"""Diagnostic-report tests."""
+
+import pytest
+
+from repro.pipeline import compile_program, O2, O3_SW
+from repro.tools import (
+    allocation_report,
+    call_graph_dot,
+    describe_options,
+    disassemble,
+    interference_summary,
+    program_report,
+)
+
+SRC = """
+func leaf(x) { return x * 2; }
+func mid(a, b) { return leaf(a) + leaf(b) + a; }
+func rec(n) { if (n > 0) { return rec(n - 1) + 1; } return 0; }
+func main() { print mid(1, 2) + rec(3); }
+"""
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return compile_program(SRC, O3_SW)
+
+
+def test_allocation_report_contains_decisions(prog):
+    text = allocation_report(prog.plan.plans["mid"])
+    assert "procedure mid [closed]" in text
+    assert "value" in text
+    assert "summary (subtree may destroy)" in text
+
+
+def test_program_report_covers_all_functions(prog):
+    text = program_report(prog)
+    for name in ("leaf", "mid", "rec", "main"):
+        assert f"procedure {name}" in text
+
+
+def test_describe_options(prog):
+    assert describe_options(prog) == "-O3 +shrink-wrap"
+    o2 = compile_program(SRC, O2)
+    assert describe_options(o2) == "-O2"
+
+
+def test_call_graph_dot_structure(prog):
+    dot = call_graph_dot(prog.plan)
+    assert dot.startswith("digraph")
+    assert '"main" -> "mid"' in dot
+    assert '"mid" -> "leaf"' in dot
+    # open procedures drawn double-circled
+    assert 'doublecircle' in dot
+    assert dot.count('"rec"') >= 2  # node + self edge
+
+
+def test_disassemble_whole_program(prog):
+    text = disassemble(prog.executable)
+    assert "main:" in text
+    assert "jr $ra" in text
+    assert "jal" in text
+
+
+def test_disassemble_single_function(prog):
+    text = disassemble(prog.executable, "leaf")
+    assert "leaf" in text
+    assert "mid:" not in text
+
+
+def test_interference_summary(prog):
+    text = interference_summary(prog.plan.plans["mid"])
+    assert text.startswith("mid:")
+    assert "ranges" in text

@@ -1,0 +1,59 @@
+"""Independent soundness checker for shrink-wrap placements.
+
+Explores every reachable (block, save-state) pair of a CFG and asserts
+the placement discipline:
+
+* no save while already saved (double save would lose the original),
+* every APP block executes in the saved state,
+* no restore outside the saved state,
+* every path reaching an exit ends unsaved (value restored).
+
+This is deliberately a *different* algorithm from the implementation's
+violation detector (state enumeration rather than a meet-based abstract
+interpretation) so the property tests cross-check one against the other.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from repro.cfg.cfg import CFG
+from repro.shrinkwrap.placement import WrapPlacement
+
+
+class UnsoundPlacement(AssertionError):
+    pass
+
+
+def check_placement(
+    cfg: CFG, app_blocks: Set[int], placement: WrapPlacement
+) -> None:
+    """Raise :class:`UnsoundPlacement` if the placement can misbehave on
+    any execution path."""
+    exits = set(cfg.exits())
+    seen: Set[Tuple[int, bool]] = set()
+    # an entry-block save is emitted in the prologue (before the entry
+    # label): it runs exactly once, so it becomes the initial state and
+    # never re-executes on back edges into the entry
+    work = [(cfg.entry, cfg.entry in placement.saves)]
+    while work:
+        block, saved = work.pop()
+        if (block, saved) in seen:
+            continue
+        seen.add((block, saved))
+        state = saved
+        if block in placement.saves and block != cfg.entry:
+            if state:
+                raise UnsoundPlacement(f"double save at block {block}")
+            state = True
+        if block in app_blocks and not state:
+            raise UnsoundPlacement(f"use at block {block} while unsaved")
+        if block in placement.restores:
+            if not state:
+                raise UnsoundPlacement(f"restore at block {block} while unsaved")
+            state = False
+        if block in exits and not cfg.succs[block]:
+            if state:
+                raise UnsoundPlacement(f"exit at block {block} while saved")
+        for succ in cfg.succs[block]:
+            work.append((succ, state))
