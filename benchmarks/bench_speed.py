@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Toolchain speed benchmark: compile time and simulator throughput.
+
+For every benchmark-suite program this measures
+
+* ``compile_s`` -- wall-clock seconds for the full pipeline (parse,
+  lower, allocate at O3_SW, codegen, link), and
+* ``sim_cycles_per_s`` -- simulated machine cycles retired per wall-clock
+  second of the pre-decoded interpreter loop.
+
+Results land in ``benchmarks/BENCH_speed.json`` next to this script so a
+checked-in baseline can be compared across commits.  ``--check`` runs a
+fast smoke pass (every program compiles and simulates, throughput is
+positive) without overwriting the baseline -- that is what CI runs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_speed.py            # write baseline
+    PYTHONPATH=src python benchmarks/bench_speed.py --check    # CI smoke pass
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.benchsuite import benchmark_names, load_benchmarks
+from repro.pipeline import O3_SW, compile_program
+
+RESULT_PATH = Path(__file__).resolve().parent / "BENCH_speed.json"
+
+
+def bench_one(name: str, source: str, repeats: int) -> dict:
+    best_compile = None
+    program = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        program = compile_program(source, O3_SW)
+        dt = time.perf_counter() - t0
+        best_compile = dt if best_compile is None else min(best_compile, dt)
+
+    best_sim = None
+    stats = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        stats = program.run()
+        dt = time.perf_counter() - t0
+        best_sim = dt if best_sim is None else min(best_sim, dt)
+
+    return {
+        "compile_s": round(best_compile, 4),
+        "cycles": stats.cycles,
+        "instructions": stats.instructions,
+        "sim_s": round(best_sim, 4),
+        "sim_cycles_per_s": int(stats.cycles / best_sim) if best_sim else 0,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--check", action="store_true",
+        help="smoke-test every program once; do not rewrite the baseline",
+    )
+    ap.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repetitions per program (best-of, default 3)",
+    )
+    args = ap.parse_args(argv)
+
+    repeats = 1 if args.check else max(1, args.repeats)
+    benches = load_benchmarks()
+    results = {}
+    for name in benchmark_names():
+        results[name] = bench_one(name, benches[name].source, repeats)
+        r = results[name]
+        print(
+            f"{name:10s} compile {r['compile_s']:7.3f}s   "
+            f"{r['cycles']:>10d} cycles   "
+            f"{r['sim_cycles_per_s']:>12,d} cycles/s"
+        )
+        if r["cycles"] <= 0 or r["sim_cycles_per_s"] <= 0:
+            print(f"FAIL: {name} produced no simulated work", file=sys.stderr)
+            return 1
+
+    total = {
+        "compile_s": round(sum(r["compile_s"] for r in results.values()), 4),
+        "cycles": sum(r["cycles"] for r in results.values()),
+        "sim_s": round(sum(r["sim_s"] for r in results.values()), 4),
+    }
+    total["sim_cycles_per_s"] = (
+        int(total["cycles"] / total["sim_s"]) if total["sim_s"] else 0
+    )
+    print(
+        f"{'TOTAL':10s} compile {total['compile_s']:7.3f}s   "
+        f"{total['cycles']:>10d} cycles   "
+        f"{total['sim_cycles_per_s']:>12,d} cycles/s"
+    )
+
+    if not args.check:
+        payload = {
+            "config": "O3_SW",
+            "python": sys.version.split()[0],
+            "repeats": repeats,
+            "programs": results,
+            "total": total,
+        }
+        RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {RESULT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,14 +2,19 @@
 
 Problems are described by direction, meet, transfer and boundary values.
 Values may be any lattice elements with equality -- Python sets for
-liveness, int bitmasks for the shrink-wrap ANT/AV problems.  The solver
-iterates to a fixed point in reverse postorder (forward problems) or its
-reverse (backward problems), which converges in a handful of passes for
-reducible flow graphs.
+liveness, int bitmasks for the shrink-wrap ANT/AV problems.
+
+The solver is a classic worklist algorithm: blocks are seeded in reverse
+postorder (forward problems) or its reverse (backward problems) and a
+block is re-evaluated only when the value feeding it changed.  On an
+acyclic graph every transfer function runs exactly once; with loops the
+work is O(edges * lattice height) rather than O(passes * blocks) of a
+full-sweep round-robin solver.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Generic, List, Tuple, TypeVar
 
@@ -40,47 +45,76 @@ def solve(cfg: CFG, problem: DataflowProblem[T]) -> Tuple[List[T], List[T]]:
     For backward problems the "in" of a block is its value at block entry
     and "out" at block exit, same as forward -- only the propagation
     direction differs.
+
+    Blocks unreachable from the entry are not visited and keep ``top`` on
+    both sides.
     """
     n = cfg.num_blocks
-    in_vals: List[T] = [problem.top] * n
-    out_vals: List[T] = [problem.top] * n
+    top = problem.top
+    meet = problem.meet
+    transfer = problem.transfer
+    in_vals: List[T] = [top] * n
+    out_vals: List[T] = [top] * n
+
     rpo = cfg.reverse_postorder()
     order = rpo if problem.forward else list(reversed(rpo))
+    known = set(order)
     exits = set(cfg.exits())
 
-    changed = True
-    iterations = 0
-    while changed:
-        changed = False
-        iterations += 1
-        if iterations > 4 * n + 8:  # pragma: no cover - safety net
-            raise RuntimeError("dataflow failed to converge")
-        for b in order:
-            if problem.forward:
-                if b == cfg.entry:
-                    new_in = problem.boundary
-                else:
-                    preds = cfg.preds[b]
-                    new_in = problem.top
-                    for p in preds:
-                        new_in = problem.meet(new_in, out_vals[p])
-                new_out = problem.transfer(b, new_in)
-                if new_in != in_vals[b] or new_out != out_vals[b]:
-                    in_vals[b] = new_in
-                    out_vals[b] = new_out
-                    changed = True
+    work = deque(order)
+    on_list = [False] * n
+    for b in order:
+        on_list[b] = True
+
+    # Monotone transfers over a finite lattice terminate; the cap only
+    # guards against a non-monotone problem specification.
+    budget = (4 * n + 8) * max(n, 1) + len(order)
+
+    if problem.forward:
+        preds, succs = cfg.preds, cfg.succs
+        entry = cfg.entry
+        while work:
+            budget -= 1
+            if budget < 0:  # pragma: no cover - safety net
+                raise RuntimeError("dataflow failed to converge")
+            b = work.popleft()
+            on_list[b] = False
+            if b == entry:
+                new_in = problem.boundary
             else:
-                if b in exits and not cfg.succs[b]:
-                    new_out = problem.boundary
-                else:
-                    new_out = problem.top
-                    for s in cfg.succs[b]:
-                        new_out = problem.meet(new_out, in_vals[s])
-                    if b in exits:
-                        new_out = problem.meet(new_out, problem.boundary)
-                new_in = problem.transfer(b, new_out)
-                if new_in != in_vals[b] or new_out != out_vals[b]:
-                    in_vals[b] = new_in
-                    out_vals[b] = new_out
-                    changed = True
+                new_in = top
+                for p in preds[b]:
+                    new_in = meet(new_in, out_vals[p])
+            new_out = transfer(b, new_in)
+            in_vals[b] = new_in
+            if new_out != out_vals[b]:
+                out_vals[b] = new_out
+                for s in succs[b]:
+                    if not on_list[s] and s in known:
+                        on_list[s] = True
+                        work.append(s)
+    else:
+        preds, succs = cfg.preds, cfg.succs
+        while work:
+            budget -= 1
+            if budget < 0:  # pragma: no cover - safety net
+                raise RuntimeError("dataflow failed to converge")
+            b = work.popleft()
+            on_list[b] = False
+            if b in exits and not succs[b]:
+                new_out = problem.boundary
+            else:
+                new_out = top
+                for s in succs[b]:
+                    new_out = meet(new_out, in_vals[s])
+                if b in exits:
+                    new_out = meet(new_out, problem.boundary)
+            new_in = transfer(b, new_out)
+            out_vals[b] = new_out
+            if new_in != in_vals[b]:
+                in_vals[b] = new_in
+                for p in preds[b]:
+                    if not on_list[p] and p in known:
+                        on_list[p] = True
+                        work.append(p)
     return in_vals, out_vals

@@ -1,0 +1,113 @@
+"""Stack-frame layout.
+
+The stack grows downward from the top of memory.  A procedure that needs
+frame storage decrements ``sp`` by its frame size in the prologue and
+addresses every slot at a non-negative offset from the new ``sp``::
+
+    sp + 0 .. out_args-1      outgoing-argument area (slot = arg position)
+    sp + ...                  local arrays
+    sp + ...                  spill homes of memory-resident vregs
+    sp + ...                  save slots (callee-saved / caller-saved / wrapped)
+    sp + ...                  ra save slot (procedures that make calls)
+    sp + size + pos           incoming stack argument ``pos`` (caller's area)
+
+Incoming stack-passed parameters are addressed in the *caller's*
+outgoing-argument area, which sits immediately above this frame; their
+spill home is that slot itself, so no extra copying happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.ir.values import VKind, VReg
+
+
+class CodegenError(Exception):
+    """Code generation hit an impossible or unsupported situation."""
+
+
+@dataclass
+class Frame:
+    """Resolved frame layout for one procedure."""
+
+    size: int = 0
+    out_args: int = 0
+    #: memory-resident vreg -> sp-relative offset (incoming stack params
+    #: get offsets >= size, i.e. slots in the caller's frame)
+    homes: Dict[VReg, int] = field(default_factory=dict)
+    #: local array name -> sp-relative offset of element 0
+    arrays: Dict[str, int] = field(default_factory=dict)
+    #: register index -> sp-relative save slot (callee-saved / wrapped)
+    saves: Dict[int, int] = field(default_factory=dict)
+    #: register index -> sp-relative slot for caller-saves around calls.
+    #: Disjoint from ``saves``: a wrapped register may also be caller-saved
+    #: around a call inside its region, and the call-site save must not
+    #: overwrite the caller's wrapped value.
+    call_saves: Dict[int, int] = field(default_factory=dict)
+    ra_offset: Optional[int] = None
+
+    def home_of(self, v: VReg) -> int:
+        try:
+            return self.homes[v]
+        except KeyError:
+            raise CodegenError(f"no spill home for {v.name}") from None
+
+    def save_slot(self, reg_index: int) -> int:
+        try:
+            return self.saves[reg_index]
+        except KeyError:
+            raise CodegenError(
+                f"no save slot for register {reg_index}"
+            ) from None
+
+    def call_save_slot(self, reg_index: int) -> int:
+        try:
+            return self.call_saves[reg_index]
+        except KeyError:
+            raise CodegenError(
+                f"no call-save slot for register {reg_index}"
+            ) from None
+
+
+def build_frame(
+    plan,
+    spilled: Iterable[VReg],
+    stack_param_homes: Dict[VReg, int],
+    save_regs: Iterable[int],
+    max_out_args: int,
+    needs_ra: bool,
+    call_save_regs: Iterable[int] = (),
+) -> Frame:
+    """Lay out the frame of ``plan``'s procedure.
+
+    ``spilled`` are the memory-resident vregs needing an in-frame home;
+    ``stack_param_homes`` maps incoming stack-passed params to their
+    argument position (their home is the caller's outgoing slot);
+    ``save_regs`` are register indices needing a save slot (ra excluded);
+    ``call_save_regs`` need a (separate) slot for saves around calls.
+    """
+    fn = plan.alloc.fn
+    frame = Frame(out_args=max_out_args)
+    offset = max_out_args
+    for name, size in fn.local_arrays.items():
+        frame.arrays[name] = offset
+        offset += size
+    for v in sorted(spilled, key=lambda v: (v.kind.value, v.name, v.index)):
+        frame.homes[v] = offset
+        offset += 1
+    for idx in sorted(save_regs):
+        frame.saves[idx] = offset
+        offset += 1
+    for idx in sorted(call_save_regs):
+        frame.call_saves[idx] = offset
+        offset += 1
+    if needs_ra:
+        frame.ra_offset = offset
+        offset += 1
+    frame.size = offset
+    # incoming stack params live just above this frame
+    for v, pos in stack_param_homes.items():
+        frame.homes[v] = frame.size + pos
+    return frame

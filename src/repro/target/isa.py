@@ -1,0 +1,177 @@
+"""The virtual instruction set.
+
+A small R2000-flavoured ISA: three-register ALU ops, immediate forms,
+loads/stores with a single base+offset addressing mode, absolute branches
+and jump-and-link.  ``Opcode`` order is load-bearing: the simulator
+pre-decodes instructions to integer opcode numbers by enum position, so
+new opcodes must be appended, never inserted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.target.registers import Register
+
+
+class Opcode(enum.Enum):
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    SLT = "slt"
+    SLE = "sle"
+    SEQ = "seq"
+    SNE = "sne"
+    ADDI = "addi"
+    LI = "li"
+    LA = "la"
+    MOVE = "move"
+    NEG = "neg"
+    NOT = "not"
+    LW = "lw"
+    SW = "sw"
+    B = "b"
+    BEQZ = "beqz"
+    BNEZ = "bnez"
+    JAL = "jal"
+    JALR = "jalr"
+    JR = "jr"
+    PRINT = "print"
+    HALT = "halt"
+
+
+class MemKind(enum.Enum):
+    """Why a load/store exists -- drives the paper's traffic breakdown."""
+
+    SCALAR = "scalar"      # spilled locals/temps and global scalars
+    PARAM = "param"        # parameter homing and stack-argument traffic
+    SAVE = "save"          # register saves (ra, callee-/caller-saved)
+    RESTORE = "restore"    # the matching reloads
+    DATA = "data"          # array element traffic (not a scalar class)
+
+    @property
+    def is_scalar_class(self) -> bool:
+        return self is not MemKind.DATA
+
+
+# Cycle costs.  Single-cycle ALU core with a load-delay-free but 2-cycle
+# memory pipe and the classic long multiply/divide.
+_LATENCY: Dict[Opcode, int] = {
+    Opcode.MUL: 10,
+    Opcode.DIV: 35,
+    Opcode.REM: 35,
+    Opcode.LW: 2,
+    Opcode.SW: 2,
+    Opcode.JAL: 2,
+    Opcode.JALR: 2,
+}
+
+
+def latency(op: Opcode) -> int:
+    return _LATENCY.get(op, 1)
+
+
+_THREE_REG = {
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.REM,
+    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SLL, Opcode.SRL,
+    Opcode.SRA, Opcode.SLT, Opcode.SLE, Opcode.SEQ, Opcode.SNE,
+}
+
+
+@dataclass
+class Instr:
+    """One machine instruction.  Fields not used by ``op`` stay ``None``."""
+
+    op: Opcode
+    rd: Optional[Register] = None
+    rs: Optional[Register] = None
+    rt: Optional[Register] = None
+    imm: Optional[int] = None
+    label: Optional[str] = None
+    kind: Optional[MemKind] = None
+    comment: Optional[str] = None
+
+    def render(self) -> str:
+        op = self.op
+        text = self._operands(op)
+        if self.comment:
+            text = f"{text:<28}# {self.comment}"
+        return text
+
+    def _operands(self, op: Opcode) -> str:
+        name = op.value
+        if op in _THREE_REG:
+            return f"{name} ${self.rd.name}, ${self.rs.name}, ${self.rt.name}"
+        if op is Opcode.ADDI:
+            return f"{name} ${self.rd.name}, ${self.rs.name}, {self.imm}"
+        if op in (Opcode.LI, Opcode.LA):
+            target = self.label if self.label is not None else self.imm
+            return f"{name} ${self.rd.name}, {target}"
+        if op in (Opcode.MOVE, Opcode.NEG, Opcode.NOT):
+            return f"{name} ${self.rd.name}, ${self.rs.name}"
+        if op is Opcode.LW:
+            return f"{name} ${self.rd.name}, {self._addr(self.rs)}"
+        if op is Opcode.SW:
+            return f"{name} ${self.rs.name}, {self._addr(self.rt)}"
+        if op is Opcode.B:
+            return f"{name} {self.label or self.imm}"
+        if op in (Opcode.BEQZ, Opcode.BNEZ):
+            return f"{name} ${self.rs.name}, {self.label or self.imm}"
+        if op is Opcode.JAL:
+            return f"{name} {self.label or self.imm}"
+        if op in (Opcode.JALR, Opcode.JR):
+            return f"{name} ${self.rs.name}"
+        if op is Opcode.PRINT:
+            return f"{name} ${self.rs.name}"
+        return name  # HALT
+
+    def _addr(self, base: Optional[Register]) -> str:
+        if self.label is not None:
+            off = f"+{self.imm}" if self.imm else ""
+            return f"{self.label}{off}"
+        return f"{self.imm or 0}(${base.name})"
+
+
+@dataclass
+class AsmFunction:
+    """Generated code for one procedure.
+
+    ``labels`` maps an instruction index to the label names attached just
+    before it; an index equal to ``len(instrs)`` labels the end.
+    """
+
+    name: str
+    instrs: List[Instr] = field(default_factory=list)
+    labels: Dict[int, List[str]] = field(default_factory=dict)
+
+    def add_label(self, label: str, index: Optional[int] = None) -> None:
+        at = len(self.instrs) if index is None else index
+        self.labels.setdefault(at, []).append(label)
+
+    def emit(self, instr: Instr) -> Instr:
+        self.instrs.append(instr)
+        return instr
+
+    def render(self) -> str:
+        lines = [f"{self.name}:"]
+        for i, ins in enumerate(self.instrs):
+            for lab in self.labels.get(i, ()):
+                lines.append(f"{lab}:")
+            lines.append(f"    {ins.render()}")
+        for lab in self.labels.get(len(self.instrs), ()):
+            lines.append(f"{lab}:")
+        return "\n".join(lines)
+
+
+def disassemble(instrs: Iterable[Instr]) -> str:
+    return "\n".join(ins.render() for ins in instrs)

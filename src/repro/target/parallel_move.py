@@ -1,0 +1,68 @@
+"""Sequentializing parallel register moves.
+
+Argument staging and parameter arrival are *parallel* assignments: every
+source is read in the old state, every destination written in the new one.
+Sequentialization is the classic two-phase algorithm: emit "tree" moves
+whose destination nobody still needs, then break the remaining permutation
+cycles with a single scratch register.  A cycle of length k costs k+1
+moves, so the output never exceeds ``n + max(1, n // 2)`` moves for n
+non-trivial inputs.  The scratch may hold garbage on entry; it is written
+before it is read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.target.registers import Register
+
+Move = Tuple[Register, Register]  # (dst, src)
+
+
+def resolve_parallel_moves(
+    moves: List[Move], scratch: Register
+) -> List[Move]:
+    """Turn parallel ``(dst, src)`` moves into an equivalent sequence.
+
+    Destinations must be distinct; sources may repeat (fan-out).  Trivial
+    ``dst == src`` moves are dropped.  ``scratch`` must not appear among
+    the destinations or sources.
+    """
+    pending: Dict[int, Move] = {}
+    src_uses: Dict[int, int] = {}
+    for dst, src in moves:
+        if dst.index == src.index:
+            continue
+        if dst.index in pending:
+            raise ValueError(f"duplicate destination ${dst.name}")
+        pending[dst.index] = (dst, src)
+        src_uses[src.index] = src_uses.get(src.index, 0) + 1
+
+    out: List[Move] = []
+    # Tree phase: any destination that is no longer needed as a source can
+    # be written immediately; doing so may free its own source in turn.
+    ready = [d for d in pending if src_uses.get(d, 0) == 0]
+    while ready:
+        d = ready.pop()
+        dst, src = pending.pop(d)
+        out.append((dst, src))
+        src_uses[src.index] -= 1
+        if src_uses[src.index] == 0 and src.index in pending:
+            ready.append(src.index)
+
+    # Cycle phase: whatever remains is a union of disjoint cycles.
+    while pending:
+        start, (dst, src) = next(iter(pending.items()))
+        out.append((scratch, dst))
+        # follow the cycle: dst <- src, src <- src's src, ... until we
+        # come back around to ``start``, which takes its value from scratch
+        cur = dst
+        cur_src = src
+        while cur_src.index != start:
+            out.append((cur, cur_src))
+            del pending[cur.index]
+            cur = cur_src
+            cur_src = pending[cur.index][1]
+        out.append((cur, scratch))
+        del pending[cur.index]
+    return out

@@ -1,0 +1,208 @@
+"""The virtual R2000-flavoured register file.
+
+Chow's central data structure is "one word of storage" per procedure: an
+int bitmask over the register file.  Everything here is bitmask-native --
+register sets are plain ints, membership is ``mask >> r.index & 1``, union
+and intersection are ``|`` and ``&``, and the mask -> register-list
+direction is served from precomputed per-byte tables so hot paths never
+loop over bits.
+
+Layout (index = bit position in every mask)::
+
+    0        zero   hardwired zero
+    1..3     at0-at2  assembler/codegen scratch (never allocatable)
+    4        v0     return value
+    5..8     a0-a3  argument registers      (caller-saved, allocatable)
+    9..15    t0-t6  temporaries             (caller-saved, allocatable)
+    16..24   s0-s8  saved registers         (callee-saved, allocatable)
+    25       sp     stack pointer
+    26       ra     return address
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "Register",
+    "RegisterFile",
+    "ALL_REGISTERS",
+    "ALLOCATABLE",
+    "ALLOCATABLE_MASK",
+    "CALLER_SAVED",
+    "CALLER_SAVED_MASK",
+    "CALLEE_SAVED",
+    "CALLEE_SAVED_MASK",
+    "DEFAULT_CLOBBER_MASK",
+    "FULL_FILE",
+    "NUM_PARAM_REGS",
+    "NUM_REGISTERS",
+    "PARAM_REGS",
+    "ZERO",
+    "AT0",
+    "AT1",
+    "AT2",
+    "V0",
+    "SP",
+    "RA",
+    "reg",
+    "registers_in_mask",
+    "caller_only_file",
+    "callee_only_file",
+]
+
+
+@dataclass(frozen=True)
+class Register:
+    """One physical register.  Hashable; identity is the index."""
+
+    index: int
+    name: str
+    caller_saved: bool = False
+    callee_saved: bool = False
+    is_param: bool = False
+
+    @property
+    def mask(self) -> int:
+        return 1 << self.index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"${self.name}"
+
+
+def _build_file() -> Tuple[Register, ...]:
+    regs: List[Register] = [Register(0, "zero")]
+    regs += [Register(i, f"at{i - 1}") for i in (1, 2, 3)]
+    regs.append(Register(4, "v0"))
+    regs += [
+        Register(5 + k, f"a{k}", caller_saved=True, is_param=True)
+        for k in range(4)
+    ]
+    regs += [Register(9 + k, f"t{k}", caller_saved=True) for k in range(7)]
+    regs += [Register(16 + k, f"s{k}", callee_saved=True) for k in range(9)]
+    regs.append(Register(25, "sp"))
+    regs.append(Register(26, "ra"))
+    return tuple(regs)
+
+
+ALL_REGISTERS: Tuple[Register, ...] = _build_file()
+NUM_REGISTERS = len(ALL_REGISTERS)
+
+ZERO = ALL_REGISTERS[0]
+AT0 = ALL_REGISTERS[1]
+AT1 = ALL_REGISTERS[2]
+AT2 = ALL_REGISTERS[3]
+V0 = ALL_REGISTERS[4]
+SP = ALL_REGISTERS[25]
+RA = ALL_REGISTERS[26]
+
+PARAM_REGS: Tuple[Register, ...] = tuple(
+    r for r in ALL_REGISTERS if r.is_param
+)
+NUM_PARAM_REGS = len(PARAM_REGS)
+
+CALLER_SAVED: Tuple[Register, ...] = tuple(
+    r for r in ALL_REGISTERS if r.caller_saved
+)
+CALLEE_SAVED: Tuple[Register, ...] = tuple(
+    r for r in ALL_REGISTERS if r.callee_saved
+)
+ALLOCATABLE: Tuple[Register, ...] = CALLER_SAVED + CALLEE_SAVED
+
+
+def _mask_of(regs: Sequence[Register]) -> int:
+    m = 0
+    for r in regs:
+        m |= r.mask
+    return m
+
+
+CALLER_SAVED_MASK = _mask_of(CALLER_SAVED)
+CALLEE_SAVED_MASK = _mask_of(CALLEE_SAVED)
+ALLOCATABLE_MASK = CALLER_SAVED_MASK | CALLEE_SAVED_MASK
+
+# What a call to a procedure compiled under the default convention may
+# destroy: every caller-saved register plus the return-value register.
+DEFAULT_CLOBBER_MASK = CALLER_SAVED_MASK | V0.mask
+
+_BY_NAME: Dict[str, Register] = {r.name: r for r in ALL_REGISTERS}
+
+
+def reg(name: str) -> Register:
+    """Look a register up by name (``reg("a0")``)."""
+    return _BY_NAME[name]
+
+
+# ---------------------------------------------------------------------------
+# mask -> register list, without per-query bit loops
+# ---------------------------------------------------------------------------
+
+# One table per byte position: _BYTE_TABLE[b][v] lists the registers whose
+# index is in [8b, 8b+8) and whose bit is set in v << 8b.  A lookup is then
+# a handful of table reads + tuple concatenation, and full results are
+# memoised per mask.
+_BYTE_TABLE: List[List[Tuple[Register, ...]]] = []
+for _b in range((NUM_REGISTERS + 7) // 8):
+    _table: List[Tuple[Register, ...]] = []
+    for _v in range(256):
+        _table.append(
+            tuple(
+                ALL_REGISTERS[_b * 8 + _i]
+                for _i in range(8)
+                if _v >> _i & 1 and _b * 8 + _i < NUM_REGISTERS
+            )
+        )
+    _BYTE_TABLE.append(_table)
+
+_MASK_CACHE: Dict[int, Tuple[Register, ...]] = {}
+
+
+def registers_in_mask(mask: int) -> Tuple[Register, ...]:
+    """The registers named by ``mask``, in increasing index order."""
+    hit = _MASK_CACHE.get(mask)
+    if hit is not None:
+        return hit
+    out: Tuple[Register, ...] = ()
+    for b, table in enumerate(_BYTE_TABLE):
+        out += table[(mask >> (8 * b)) & 0xFF]
+    _MASK_CACHE[mask] = out
+    return out
+
+
+# ---------------------------------------------------------------------------
+# register files (what the allocator is allowed to hand out)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegisterFile:
+    """An ordered set of allocatable registers, plus its bitmask."""
+
+    allocatable: Tuple[Register, ...]
+    mask: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mask", _mask_of(self.allocatable))
+
+    def __len__(self) -> int:
+        return len(self.allocatable)
+
+    def __iter__(self):
+        return iter(self.allocatable)
+
+    def __contains__(self, r: Register) -> bool:
+        return bool(self.mask >> r.index & 1)
+
+
+FULL_FILE = RegisterFile(ALLOCATABLE)
+
+
+def caller_only_file(n: int = len(CALLER_SAVED)) -> RegisterFile:
+    """A file of the first ``n`` caller-saved registers (paper config D)."""
+    return RegisterFile(CALLER_SAVED[:n])
+
+
+def callee_only_file(n: int = len(CALLEE_SAVED)) -> RegisterFile:
+    """A file of the first ``n`` callee-saved registers (paper config E)."""
+    return RegisterFile(CALLEE_SAVED[:n])

@@ -1,6 +1,6 @@
 """ANT/AV (equations 3.1-3.4) tests on hand-built graphs."""
 
-from tests_graphs import build_graph
+from helpers import build_graph
 
 from repro.dataflow import solve_ant_av
 

@@ -2,6 +2,14 @@
 
 from __future__ import annotations
 
+from typing import Dict, List, Set, Tuple
+
+from repro.cfg.cfg import CFG
+from repro.ir.function import BasicBlock, IRFunction
+from repro.ir.instructions import CJump, Jump, Ret
+from repro.ir.values import Const
+from repro.shrinkwrap.placement import WrapPlacement
+
 from repro.frontend import analyze, parse
 from repro.ir import lower_module, optimize_module
 from repro.pipeline import (
@@ -40,3 +48,80 @@ def run_all_levels(source, check_contracts: bool = True):
     outputs = {tuple(s.output) for s in stats.values()}
     assert len(outputs) == 1, f"outputs diverge: {outputs}"
     return stats
+
+
+# --------------------------------------------------------------------------
+# Hand-built CFGs for dataflow / shrink-wrap tests
+# --------------------------------------------------------------------------
+
+def build_graph(edges: List[Tuple[int, int]], n: int) -> CFG:
+    """Build a CFG with blocks 0..n-1 and the given edges.
+
+    Blocks with no successors become return blocks; one successor, jumps;
+    more, conditional jumps (first two targets).
+    """
+    fn = IRFunction(name="g", params=[])
+    out: Dict[int, List[int]] = {}
+    for a, b in edges:
+        out.setdefault(a, []).append(b)
+    for i in range(n):
+        succs = out.get(i, [])
+        if not succs:
+            term = Ret(None)
+        elif len(succs) == 1:
+            term = Jump(f"b{succs[0]}")
+        else:
+            term = CJump(Const(1), f"b{succs[0]}", f"b{succs[1]}")
+        fn.add_block(BasicBlock(f"b{i}", [], term))
+    cfg = CFG(fn=fn)
+    cfg.blocks = list(fn.blocks)
+    cfg.index = {b.name: i for i, b in enumerate(cfg.blocks)}
+    cfg.succs = [[] for _ in range(n)]
+    cfg.preds = [[] for _ in range(n)]
+    for a, b in edges:
+        cfg.succs[a].append(b)
+        cfg.preds[b].append(a)
+    return cfg
+
+# --------------------------------------------------------------------------
+# Independent shrink-wrap soundness checker (state enumeration; a
+# deliberately different algorithm from the implementation's own
+# meet-based detector, so property tests cross-check the two)
+# --------------------------------------------------------------------------
+
+class UnsoundPlacement(AssertionError):
+    pass
+
+
+def check_placement(
+    cfg: CFG, app_blocks: Set[int], placement: WrapPlacement
+) -> None:
+    """Raise :class:`UnsoundPlacement` if the placement can misbehave on
+    any execution path."""
+    exits = set(cfg.exits())
+    seen: Set[Tuple[int, bool]] = set()
+    # an entry-block save is emitted in the prologue (before the entry
+    # label): it runs exactly once, so it becomes the initial state and
+    # never re-executes on back edges into the entry
+    work = [(cfg.entry, cfg.entry in placement.saves)]
+    while work:
+        block, saved = work.pop()
+        if (block, saved) in seen:
+            continue
+        seen.add((block, saved))
+        state = saved
+        if block in placement.saves and block != cfg.entry:
+            if state:
+                raise UnsoundPlacement(f"double save at block {block}")
+            state = True
+        if block in app_blocks and not state:
+            raise UnsoundPlacement(f"use at block {block} while unsaved")
+        if block in placement.restores:
+            if not state:
+                raise UnsoundPlacement(f"restore at block {block} while unsaved")
+            state = False
+        if block in exits and not cfg.succs[block]:
+            if state:
+                raise UnsoundPlacement(f"exit at block {block} while saved")
+        for succ in cfg.succs[block]:
+            work.append((succ, state))

@@ -7,8 +7,8 @@ execution path (checked by an independent state-enumeration verifier).
 
 from hypothesis import given, settings, strategies as st
 
-from tests_graphs import build_graph
-from wrap_check import check_placement
+from helpers import build_graph
+from helpers import check_placement
 
 from repro.cfg.loops import find_loops
 from repro.shrinkwrap import shrink_wrap

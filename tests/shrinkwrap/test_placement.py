@@ -1,7 +1,7 @@
 """Shrink-wrap placement tests (paper Section 5)."""
 
-from tests_graphs import build_graph
-from wrap_check import check_placement
+from helpers import build_graph
+from helpers import check_placement
 
 from repro.cfg.loops import find_loops
 from repro.shrinkwrap import entry_exit_placement, shrink_wrap

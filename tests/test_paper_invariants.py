@@ -106,7 +106,7 @@ def test_every_placement_is_sound(program):
     from pathlib import Path
 
     sys.path.insert(0, str(Path(__file__).resolve().parent))
-    from wrap_check import check_placement
+    from helpers import check_placement
 
     for fnplan in program.plan.plans.values():
         for idx, placement in fnplan.wrapped.items():
