@@ -4,14 +4,20 @@
 For every benchmark-suite program this measures
 
 * ``compile_s`` -- wall-clock seconds for the full pipeline (parse,
-  lower, allocate at O3_SW, codegen, link), and
+  lower, allocate at O3_SW, codegen, link),
 * ``sim_cycles_per_s`` -- simulated machine cycles retired per wall-clock
-  second of the pre-decoded interpreter loop.
+  second of the pre-decoded interpreter loop, and
+* ``incremental`` -- cold vs warm recompile time through a
+  ``repro.Compiler`` session after editing one procedure, with the warm
+  executable checked bit-identical to a from-scratch compile.
 
 Results land in ``benchmarks/BENCH_speed.json`` next to this script so a
-checked-in baseline can be compared across commits.  ``--check`` runs a
-fast smoke pass (every program compiles and simulates, throughput is
-positive) without overwriting the baseline -- that is what CI runs.
+checked-in baseline can be compared across commits (engine cache
+observability goes to ``BENCH_engine_stats.json`` alongside).
+``--check`` runs a fast smoke pass -- every program compiles and
+simulates, throughput is positive, and the warm/cold speedup stays above
+the regression floor -- without overwriting the baseline; that is what
+CI runs.
 
 Usage::
 
@@ -29,10 +35,66 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro import Compiler
 from repro.benchsuite import benchmark_names, load_benchmarks
+from repro.engine.frontend import split_chunks
 from repro.pipeline import O3_SW, compile_program
 
 RESULT_PATH = Path(__file__).resolve().parent / "BENCH_speed.json"
+STATS_PATH = Path(__file__).resolve().parent / "BENCH_engine_stats.json"
+
+#: --check fails below this warm/cold speedup (the recorded baseline is
+#: far higher; the floor only catches cache regressions, not CI jitter)
+MIN_WARM_SPEEDUP = 3.0
+
+
+def edit_one_procedure(source: str, salt: int) -> str:
+    """A one-procedure edit: touch the body of the middle function (the
+    canonical rebuild-after-touching-one-file scenario -- the chunk's
+    text changes, siblings stay byte-identical)."""
+    split = split_chunks(source)
+    assert split is not None, "benchmark sources must be chunkable"
+    _, chunks = split
+    chunk = chunks[len(chunks) // 2]
+    brace = chunk.text.rfind("}")
+    edited = chunk.text[:brace] + f"/* edit {salt} */ " + chunk.text[brace:]
+    return source.replace(chunk.text, edited, 1)
+
+
+def bench_incremental(name: str, source: str, repeats: int) -> dict:
+    """Cold session compile vs warm recompile after one-procedure edit."""
+    best_cold = None
+    best_warm = None
+    warm_program = None
+    session = None
+    edited = None
+    for i in range(repeats):
+        session = Compiler(O3_SW)
+        session.add_source(("main", source))
+        t0 = time.perf_counter()
+        session.compile()
+        cold = time.perf_counter() - t0
+
+        edited = edit_one_procedure(source, i)
+        session.add_source(("main", edited))
+        t0 = time.perf_counter()
+        warm_program = session.compile()
+        warm = time.perf_counter() - t0
+        best_cold = cold if best_cold is None else min(best_cold, cold)
+        best_warm = warm if best_warm is None else min(best_warm, warm)
+
+    # the cache must only skip work, never change output
+    reference = compile_program(("main", edited), O3_SW)
+    warm_instrs = [repr(i) for i in warm_program.executable.instrs]
+    ref_instrs = [repr(i) for i in reference.executable.instrs]
+    if warm_instrs != ref_instrs:
+        raise AssertionError(f"{name}: warm executable differs from cold")
+
+    return {
+        "cold_s": round(best_cold, 4),
+        "warm_s": round(best_warm, 4),
+        "speedup": round(best_cold / best_warm, 1) if best_warm else 0.0,
+    }, session.stats.records
 
 
 def bench_one(name: str, source: str, repeats: int) -> dict:
@@ -102,6 +164,43 @@ def main(argv=None) -> int:
         f"{total['sim_cycles_per_s']:>12,d} cycles/s"
     )
 
+    # warm-vs-cold incremental recompile through a Compiler session
+    from repro.engine.stats import EngineStats
+
+    engine_stats = EngineStats()
+    incremental = {}
+    for name in benchmark_names():
+        incremental[name], records = bench_incremental(
+            name, benches[name].source, repeats
+        )
+        engine_stats.records.extend(records)
+        r = incremental[name]
+        print(
+            f"{name:10s} cold {r['cold_s']:7.3f}s   warm {r['warm_s']:7.3f}s"
+            f"   speedup {r['speedup']:6.1f}x"
+        )
+    inc_total = {
+        "cold_s": round(sum(r["cold_s"] for r in incremental.values()), 4),
+        "warm_s": round(sum(r["warm_s"] for r in incremental.values()), 4),
+    }
+    inc_total["speedup"] = (
+        round(inc_total["cold_s"] / inc_total["warm_s"], 1)
+        if inc_total["warm_s"]
+        else 0.0
+    )
+    print(
+        f"{'TOTAL':10s} cold {inc_total['cold_s']:7.3f}s   "
+        f"warm {inc_total['warm_s']:7.3f}s   "
+        f"speedup {inc_total['speedup']:6.1f}x"
+    )
+    if inc_total["speedup"] < MIN_WARM_SPEEDUP:
+        print(
+            f"FAIL: warm recompile speedup {inc_total['speedup']}x is below "
+            f"the {MIN_WARM_SPEEDUP}x regression floor",
+            file=sys.stderr,
+        )
+        return 1
+
     if not args.check:
         payload = {
             "config": "O3_SW",
@@ -109,9 +208,12 @@ def main(argv=None) -> int:
             "repeats": repeats,
             "programs": results,
             "total": total,
+            "incremental": {"programs": incremental, "total": inc_total},
         }
         RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {RESULT_PATH}")
+        STATS_PATH.write_text(engine_stats.to_json() + "\n")
+        print(f"wrote {STATS_PATH}")
     return 0
 
 

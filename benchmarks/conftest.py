@@ -5,6 +5,11 @@ compile-and-simulate pipeline is deterministic, so every benchmark runs a
 single round (``pedantic``); pytest-benchmark reports the pipeline time
 while the printed tables carry the paper's actual metrics.
 
+Shared helpers (``once``, the session-wide compile cache) live in
+``tests/helpers.py`` so this directory and ``tests/`` use one
+definition; this conftest only wires up the import path and re-exports
+them for the benchmark modules.
+
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
@@ -15,9 +20,8 @@ from __future__ import annotations
 import sys
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent))
+_HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE))
+sys.path.insert(0, str(_HERE.parent / "tests"))
 
-
-def once(benchmark, fn):
-    """Run ``fn`` exactly once under the benchmark timer."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+from helpers import compile_cached, once, run_cached  # noqa: E402,F401

@@ -18,7 +18,7 @@ programs.
 
 import pytest
 
-from conftest import once
+from conftest import compile_cached, once
 
 from repro.benchsuite import (
     BenchResult,
@@ -35,7 +35,8 @@ _ROWS = {}
 def test_table1_row(benchmark, name):
     bench = BENCHES[name]
     result: BenchResult = once(
-        benchmark, lambda: run_benchmark(bench, ("A", "B", "C"))
+        benchmark,
+        lambda: run_benchmark(bench, ("A", "B", "C"), compile_fn=compile_cached),
     )
     _ROWS[name] = result
 

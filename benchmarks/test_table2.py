@@ -13,7 +13,7 @@ graph pays off.
 
 import pytest
 
-from conftest import once
+from conftest import compile_cached, once
 
 from repro.benchsuite import (
     format_table2,
@@ -28,7 +28,10 @@ _ROWS = {}
 @pytest.mark.parametrize("name", list(BENCHES))
 def test_table2_row(benchmark, name):
     bench = BENCHES[name]
-    result = once(benchmark, lambda: run_benchmark(bench, ("D", "E")))
+    result = once(
+        benchmark,
+        lambda: run_benchmark(bench, ("D", "E"), compile_fn=compile_cached),
+    )
     _ROWS[name] = result
     # correctness already asserted inside run_benchmark (equal outputs);
     # sanity: with 7 registers nothing should get dramatically faster

@@ -16,8 +16,15 @@ Quick start::
     base = compile_and_run(src, O2)
     opt = compile_and_run(src, O3_SW)
     assert base.output == opt.output
+
+For repeated compiles of an evolving program, hold a :class:`Compiler`
+session instead: it caches per-procedure work between compiles and only
+redoes the slice of the call graph an edit (or option flip) actually
+invalidates, producing bit-identical executables either way.
 """
 
+from repro.engine import Compiler, Engine, EngineStats
+from repro.frontend.errors import OptionsError
 from repro.pipeline import (
     CompiledModule,
     CompiledProgram,
@@ -41,9 +48,13 @@ from repro.sim import ContractViolation, RunStats, percent_reduction, run_progra
 __version__ = "1.0.0"
 
 __all__ = [
+    "Compiler",
     "CompiledModule",
     "CompiledProgram",
     "CompilerOptions",
+    "Engine",
+    "EngineStats",
+    "OptionsError",
     "compile_and_run",
     "compile_module",
     "compile_program",

@@ -1,0 +1,17 @@
+"""Incremental summary-keyed compilation engine.
+
+See :mod:`repro.engine.core` for the cache model and
+:mod:`repro.engine.session` for the user-facing :class:`Compiler`.
+"""
+
+from repro.engine.core import Engine
+from repro.engine.session import Compiler
+from repro.engine.stats import CompileRecord, EngineStats, StageStats
+
+__all__ = [
+    "Compiler",
+    "CompileRecord",
+    "Engine",
+    "EngineStats",
+    "StageStats",
+]

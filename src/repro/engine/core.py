@@ -1,0 +1,283 @@
+"""The incremental compilation engine.
+
+:class:`Engine` produces the same artifacts as the one-shot driver --
+``CompiledProgram`` / ``CompiledModule`` objects, bit-identical
+executables -- but memoises every per-procedure stage across compiles of
+one session:
+
+===========  =============================================  ============
+stage        cache key                                      cached value
+===========  =============================================  ============
+front end    (symbol table hash, chunk text hash, opt?)     IRFunction
+plan         :func:`~repro.engine.invalidation.plan_key`    FnPlan
+codegen      (plan key, program array symbols)              AsmFunction
+===========  =============================================  ============
+
+Nothing is ever marked stale; a compile recomputes the (cheap) keys and
+misses exactly where an input changed.  Editing one procedure's body
+re-plans that procedure plus the ancestors whose view of a callee
+summary changed -- usually just the chain to the root, and nothing at
+all when the edit leaves the summary signature intact.  Flipping a plan
+option (say ``shrink_wrap``) changes every plan key but no front-end
+key, so parsing and lowering are fully reused.
+
+Planning runs level-by-level over the call graph's SCC condensation
+(:mod:`repro.engine.scheduler`); the plan-key model makes each level's
+procedures independent, so the levels may run on a thread pool without
+affecting output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.frontend import FrontendCache
+from repro.engine.invalidation import (
+    PlanKey,
+    count_changed,
+    effective_summaries,
+    plan_key,
+)
+from repro.engine.scheduler import default_workers, run_levels, scc_levels
+from repro.engine.stats import CompileRecord, EngineStats
+from repro.frontend.errors import OptionsError
+from repro.interproc.allocator import (
+    FnPlan,
+    PlanOptions,
+    ProgramPlan,
+    plan_function,
+)
+from repro.interproc.callgraph import build_call_graph, dfs_postorder
+from repro.interproc.modref import cacheable_globals, subtree_global_refs
+from repro.ir.function import IRModule
+from repro.pipeline.driver import (
+    CompiledModule,
+    CompiledProgram,
+    Source,
+    _plan_options,
+    _preserved_mask,
+)
+from repro.pipeline.linker import ObjectCode, link_executable, link_ir_modules
+from repro.pipeline.options import CompilerOptions, O2, validate_options
+from repro.target.codegen import generate_function
+from repro.target.isa import AsmFunction
+
+
+def normalize_sources(
+    sources: Union[Source, Sequence[Source]]
+) -> List[Tuple[str, str]]:
+    """(name, text) pairs with the driver's historical naming scheme."""
+    if isinstance(sources, (str, tuple)):
+        sources = [sources]
+    named: List[Tuple[str, str]] = []
+    for i, src in enumerate(sources):
+        if isinstance(src, tuple):
+            named.append(src)
+        else:
+            named.append((f"module{i}" if i else "main", src))
+    return named
+
+
+class Engine:
+    """Summary-keyed incremental compiler, one instance per session."""
+
+    def __init__(
+        self,
+        options: CompilerOptions = O2,
+        max_workers: Optional[int] = None,
+    ):
+        self.options = validate_options(options)
+        self.max_workers = (
+            default_workers() if max_workers is None else max_workers
+        )
+        self.stats = EngineStats()
+        self._frontend = FrontendCache()
+        self._plans: Dict[PlanKey, FnPlan] = {}
+        self._codegen: Dict[Tuple, Tuple[AsmFunction, int]] = {}
+        self._last_keys: Optional[Dict[str, PlanKey]] = None
+
+    # -- public API ---------------------------------------------------------
+
+    def compile(
+        self,
+        sources: Union[Source, Sequence[Source]],
+        options: Optional[CompilerOptions] = None,
+    ) -> CompiledProgram:
+        """Whole-program compile, reusing everything an edit left alone."""
+        options = self.options if options is None else validate_options(options)
+        record = self.stats.begin("program")
+        with self.stats.timer(record, "frontend"):
+            program = self._lower_and_link(
+                normalize_sources(sources), options, record
+            )
+        if options.entry not in program.functions:
+            raise OptionsError(
+                f"entry point {options.entry!r} is not defined by the "
+                "given sources"
+            )
+
+        popts = _plan_options(options)
+        with self.stats.timer(record, "plan"):
+            plan, keys = self._plan(program, popts, record)
+        record.invalidated = count_changed(self._last_keys, keys)
+        self._last_keys = keys
+
+        with self.stats.timer(record, "codegen"):
+            obj = self._codegen_module(program, plan, keys, record)
+        with self.stats.timer(record, "link"):
+            exe = link_executable([obj], entry=options.entry)
+        record.functions = len(program.functions)
+        record.total_seconds = sum(
+            s.seconds for s in record.stages.values()
+        )
+        return CompiledProgram(
+            executable=exe, ir=program, plan=plan, options=options
+        )
+
+    def compile_module(
+        self, source: Source, options: Optional[CompilerOptions] = None
+    ) -> CompiledModule:
+        """Separate compilation of one unit: every procedure open."""
+        options = self.options if options is None else validate_options(options)
+        record = self.stats.begin("module")
+        ((name, text),) = normalize_sources([source])
+        with self.stats.timer(record, "frontend"):
+            module = self._frontend.lower_source(
+                name, text, options.optimize_ir
+            )
+            self._drain_frontend_counters(record)
+        popts = _plan_options(options.with_(externally_visible=True))
+        with self.stats.timer(record, "plan"):
+            plan, keys = self._plan(module, popts, record)
+        with self.stats.timer(record, "codegen"):
+            obj = self._codegen_module(module, plan, keys, record)
+        record.functions = len(module.functions)
+        record.total_seconds = sum(
+            s.seconds for s in record.stages.values()
+        )
+        return CompiledModule(object_code=obj, ir=module, plan=plan)
+
+    # -- internals ----------------------------------------------------------
+
+    def _drain_frontend_counters(self, record: CompileRecord) -> None:
+        fe = self._frontend
+        stage = record.stages["frontend"]
+        stage.hits += fe.fn_hits
+        stage.misses += fe.fn_misses
+        fe.fn_hits = fe.fn_misses = 0
+
+    def _lower_and_link(
+        self,
+        named: List[Tuple[str, str]],
+        options: CompilerOptions,
+        record: CompileRecord,
+    ) -> IRModule:
+        modules = [
+            self._frontend.lower_source(name, text, options.optimize_ir)
+            for name, text in named
+        ]
+        self._drain_frontend_counters(record)
+        return link_ir_modules(modules)
+
+    def _plan(
+        self,
+        program: IRModule,
+        popts: PlanOptions,
+        record: CompileRecord,
+    ) -> Tuple[ProgramPlan, Dict[str, PlanKey]]:
+        """Replicates ``plan_program`` with per-procedure memoisation and
+        a level-parallel schedule."""
+        result = ProgramPlan(module=program)
+        arities = {
+            name: len(fn.params) for name, fn in program.functions.items()
+        }
+        arities.update(program.externs)
+
+        if popts.ipra:
+            cg = build_call_graph(
+                program,
+                entry=popts.entry,
+                externally_visible=popts.externally_visible,
+            )
+            result.call_graph = cg
+            result.order = dfs_postorder(cg)
+            levels = scc_levels(result.order, cg)
+        else:
+            cg = None
+            result.order = list(program.functions)
+            levels = [result.order] if result.order else []
+        pos = {name: i for i, name in enumerate(result.order)}
+
+        # mod/ref prepass: mirrors the sequential allocator's accumulation
+        # (the modref map never depends on plans, only on IR)
+        allowed_map: Dict[str, object] = {}
+        if popts.ipra and popts.ipra_globals:
+            modref: Dict[str, object] = {}
+            for name in result.order:
+                fn = program.functions[name]
+                allowed_map[name] = cacheable_globals(fn, modref)
+                modref[name] = subtree_global_refs(fn, modref)
+
+        #: closed summaries published as their levels complete
+        closed: Dict[str, object] = {}
+
+        def task(name: str):
+            fn = program.functions[name]
+            is_open = cg.is_open(name) if cg is not None else True
+            eff = effective_summaries(fn, program, cg, pos, closed)
+            allowed = allowed_map.get(name)
+            key = plan_key(fn, popts, arities, is_open, eff, allowed)
+            plan = self._plans.get(key)
+            hit = plan is not None
+            if not hit:
+                plan = plan_function(
+                    fn, popts, eff, arities, is_open, allowed_globals=allowed
+                )
+                self._plans[key] = plan
+            if plan.summary is not None and plan.summary.closed:
+                closed[name] = plan.summary
+            return key, plan, hit
+
+        outcomes = run_levels(levels, task, self.max_workers)
+
+        keys: Dict[str, PlanKey] = {}
+        stage = record.stages["plan"]
+        for name in result.order:
+            key, plan, hit = outcomes[name]
+            keys[name] = key
+            result.plans[name] = plan
+            if plan.summary is not None:
+                result.summaries[name] = plan.summary
+            if hit:
+                stage.hits += 1
+            else:
+                stage.misses += 1
+        return result, keys
+
+    def _codegen_module(
+        self,
+        program: IRModule,
+        plan: ProgramPlan,
+        keys: Dict[str, PlanKey],
+        record: CompileRecord,
+    ) -> ObjectCode:
+        arrays_fp = tuple(sorted(program.arrays.items()))
+        obj = ObjectCode(
+            globals=dict(program.globals), arrays=dict(program.arrays)
+        )
+        stage = record.stages["codegen"]
+        for name in program.functions:
+            ckey = (keys[name], arrays_fp)
+            cached = self._codegen.get(ckey)
+            if cached is not None:
+                stage.hits += 1
+                asm, preserved = cached
+            else:
+                stage.misses += 1
+                fnplan = plan.plans[name]
+                asm = generate_function(fnplan, program.arrays)
+                preserved = _preserved_mask(fnplan)
+                self._codegen[ckey] = (asm, preserved)
+            obj.functions[name] = asm
+            obj.preserved_masks[name] = preserved
+        return obj

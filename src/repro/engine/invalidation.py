@@ -1,0 +1,102 @@
+"""Plan keys: what exactly one procedure's allocation depends on.
+
+There is no invalidation walk in the engine -- a cache entry is never
+marked stale.  Instead each compile recomputes every procedure's *plan
+key*, the complete tuple of inputs :func:`plan_function` consumes, and
+looks it up; an edit anywhere that cannot change a procedure's
+allocation produces the same key and hits.  The "invalidation cascade"
+reported by :class:`~repro.engine.stats.EngineStats` is simply the
+number of procedures whose key differs from the previous compile: the
+edited procedures plus every ancestor whose view of a callee summary
+changed.
+
+The key reproduces the sequential allocator's visibility rule.  In
+:func:`~repro.interproc.allocator.plan_program`, the summary of callee
+``c`` is visible while planning ``f`` iff ``c`` was planned earlier --
+i.e. iff ``pos[c] < pos[f]`` in the depth-first postorder.  Closed
+callees always satisfy that (postorder places callees first; recursion
+cycles are open), and an open procedure's published summary is exactly
+``default_summary``, computable without planning it.  Encoding
+``(callee, arity, signature-or-absent)`` per direct callee therefore
+captures both the subtree clobber union and every call-site summary
+lookup, independent of execution order -- which is what makes the
+level-parallel schedule bit-identical to the sequential pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Sequence, Set, Tuple
+
+from repro.engine.fingerprint import (
+    function_fingerprint,
+    plan_options_fingerprint,
+    summary_signature,
+    weights_fingerprint,
+)
+from repro.interproc.allocator import PlanOptions
+from repro.interproc.callgraph import CallGraph
+from repro.interproc.summaries import ProcSummary, default_summary
+from repro.ir.function import IRFunction, IRModule
+
+PlanKey = Tuple
+
+
+def effective_summaries(
+    fn: IRFunction,
+    module: IRModule,
+    cg: Optional[CallGraph],
+    pos: Dict[str, int],
+    closed_summaries: Dict[str, ProcSummary],
+) -> Dict[str, ProcSummary]:
+    """The summaries ``plan_program`` would have accumulated by the time
+    it reaches ``fn``, restricted to ``fn``'s direct callees (the only
+    entries :func:`plan_function` ever reads)."""
+    eff: Dict[str, ProcSummary] = {}
+    if cg is None:
+        return eff
+    my_pos = pos[fn.name]
+    for callee in set(fn.direct_callees()):
+        target = module.functions.get(callee)
+        if target is None or pos[callee] >= my_pos:
+            continue  # extern, or not yet planned in sequential order
+        if cg.is_open(callee):
+            eff[callee] = default_summary(callee, len(target.params))
+        else:
+            eff[callee] = closed_summaries[callee]
+    return eff
+
+
+def plan_key(
+    fn: IRFunction,
+    options: PlanOptions,
+    arities: Dict[str, int],
+    is_open: bool,
+    eff: Dict[str, ProcSummary],
+    allowed_globals: Optional[Set[str]],
+) -> PlanKey:
+    """Complete input tuple of ``plan_function`` for ``fn``."""
+    callees = tuple(
+        (
+            callee,
+            arities.get(callee, -1),
+            summary_signature(eff[callee]) if callee in eff else None,
+        )
+        for callee in sorted(set(fn.direct_callees()))
+    )
+    return (
+        function_fingerprint(fn),
+        is_open,
+        plan_options_fingerprint(options),
+        weights_fingerprint(options.block_weights, fn.name),
+        callees,
+        None if allowed_globals is None else tuple(sorted(allowed_globals)),
+    )
+
+
+def count_changed(
+    previous: Optional[Dict[str, PlanKey]], current: Dict[str, PlanKey]
+) -> int:
+    """Cascade size: procedures whose plan key is new or changed."""
+    if previous is None:
+        return len(current)
+    return sum(1 for name, key in current.items() if previous.get(name) != key)

@@ -29,3 +29,10 @@ class SemanticError(CompileError):
 
 class LinkError(CompileError):
     """Unresolved or duplicate symbols when linking modules."""
+
+
+class OptionsError(CompileError):
+    """Invalid :class:`~repro.pipeline.options.CompilerOptions` (bad opt
+    level, empty register file at an allocating opt level, unknown entry
+    point, malformed block weights, ...) caught eagerly instead of
+    surfacing as a ``KeyError`` deep inside planning."""

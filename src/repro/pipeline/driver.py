@@ -112,11 +112,13 @@ def _codegen_module(
     return obj
 
 
-def compile_program(
+def _reference_compile_program(
     sources: Union[Source, Sequence[Source]],
     options: CompilerOptions = O2,
 ) -> CompiledProgram:
-    """Compile one or more MiniC sources as a whole program."""
+    """The original sequential whole-program pipeline, kept as the oracle
+    for the incremental engine's bit-identity property (tests compare
+    every cached compile against this)."""
     modules = _parse_sources(sources)
     program = link_ir_modules(modules)
     verify_module(program)
@@ -129,6 +131,22 @@ def compile_program(
     return CompiledProgram(
         executable=exe, ir=program, plan=plan, options=options
     )
+
+
+def compile_program(
+    sources: Union[Source, Sequence[Source]],
+    options: CompilerOptions = O2,
+) -> CompiledProgram:
+    """Compile one or more MiniC sources as a whole program.
+
+    One-shot wrapper over :class:`repro.Compiler`: a throwaway session
+    compiles the sources and is discarded, so nothing is cached between
+    calls.  Keep a :class:`~repro.engine.session.Compiler` instead when
+    recompiling edited variants of the same program.
+    """
+    from repro.engine.session import Compiler
+
+    return Compiler(options).add_sources(sources).compile()
 
 
 @dataclass
@@ -147,22 +165,18 @@ def compile_module(source: Source, options: CompilerOptions = O2) -> CompiledMod
     externs assume the default convention.  This reproduces the paper's
     incomplete-information regime of Section 3.
     """
-    (module,) = _parse_sources([source])
-    verify_module(module)
-    if options.optimize_ir:
-        optimize_module(module)
-        verify_module(module)
-    opts = _plan_options(options.with_(externally_visible=True))
-    plan = plan_program(module, opts)
-    obj = _codegen_module(module, plan, options)
-    return CompiledModule(object_code=obj, ir=module, plan=plan)
+    from repro.engine.session import Compiler
+
+    return Compiler(options).compile_module(source)
 
 
 def link_modules(
     compiled: Sequence[CompiledModule], entry: str = "main"
 ) -> Executable:
     """Link separately compiled modules into an executable."""
-    return link_executable([c.object_code for c in compiled], entry=entry)
+    from repro.engine.session import Compiler
+
+    return Compiler().link(compiled, entry=entry)
 
 
 def compile_and_run(

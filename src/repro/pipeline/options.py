@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Sequence
 
+from repro.frontend.errors import OptionsError
 from repro.target.registers import (
     FULL_FILE,
     RegisterFile,
@@ -65,6 +66,61 @@ class CompilerOptions:
 
     def with_(self, **kwargs) -> "CompilerOptions":
         return replace(self, **kwargs)
+
+
+def validate_options(options: CompilerOptions) -> CompilerOptions:
+    """Eagerly check ``options`` for mistakes that would otherwise surface
+    as deep ``KeyError``s during planning.  Returns ``options`` unchanged
+    so call sites can validate inline; raises
+    :class:`~repro.frontend.errors.OptionsError` on any violation.
+    """
+    if not isinstance(options, CompilerOptions):
+        raise OptionsError(
+            f"expected CompilerOptions, got {type(options).__name__}"
+        )
+    if not isinstance(options.opt_level, int) or isinstance(
+        options.opt_level, bool
+    ) or not 0 <= options.opt_level <= 3:
+        raise OptionsError(
+            f"opt_level must be an integer in 0..3, got {options.opt_level!r}"
+        )
+    if not isinstance(options.register_file, RegisterFile):
+        raise OptionsError(
+            "register_file must be a RegisterFile, got "
+            f"{type(options.register_file).__name__}"
+        )
+    if options.allocate_registers and len(options.register_file) == 0:
+        raise OptionsError(
+            "register_file is empty but opt_level "
+            f"{options.opt_level} performs register allocation; "
+            "use opt_level <= 1 for an allocation-free build"
+        )
+    if not isinstance(options.entry, str) or not options.entry:
+        raise OptionsError(
+            f"entry must be a non-empty function name, got {options.entry!r}"
+        )
+    if options.block_weights is not None:
+        bw = options.block_weights
+        if not isinstance(bw, dict):
+            raise OptionsError(
+                "block_weights must map function name -> "
+                "{block name -> count}, got "
+                f"{type(bw).__name__}"
+            )
+        for fname, blocks in bw.items():
+            if not isinstance(fname, str) or not isinstance(blocks, dict):
+                raise OptionsError(
+                    "block_weights must map function name -> "
+                    f"{{block name -> count}}; bad entry {fname!r}"
+                )
+            for bname, count in blocks.items():
+                if not isinstance(bname, str) or not isinstance(count, int) \
+                        or isinstance(count, bool) or count < 0:
+                    raise OptionsError(
+                        f"block_weights[{fname!r}][{bname!r}] must be a "
+                        f"non-negative integer count, got {count!r}"
+                    )
+    return options
 
 
 # The paper's configurations ------------------------------------------------

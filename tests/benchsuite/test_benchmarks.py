@@ -9,8 +9,10 @@ correctness (straight translation, intra coloring, full IPRA+SW).
 
 import pytest
 
+from helpers import compile_cached, run_cached
+
 from repro.benchsuite import benchmark_names, load_benchmarks
-from repro.pipeline import compile_and_run, compile_program, O0, O2, O3_SW
+from repro.pipeline import O0, O2, O3_SW
 
 BENCHES = load_benchmarks()
 
@@ -33,9 +35,9 @@ def test_benchmarks_have_descriptions():
 @pytest.mark.parametrize("name", benchmark_names())
 def test_benchmark_output_equivalence(name):
     bench = BENCHES[name]
-    base = compile_and_run(bench.source, O0)
-    o2 = compile_and_run(bench.source, O2, check_contracts=True)
-    o3 = compile_and_run(bench.source, O3_SW, check_contracts=True)
+    base = run_cached(bench.source, O0)
+    o2 = run_cached(bench.source, O2, check_contracts=True)
+    o3 = run_cached(bench.source, O3_SW, check_contracts=True)
     assert base.output == o2.output == o3.output
     assert base.output, "benchmarks must print results"
 
@@ -43,8 +45,8 @@ def test_benchmark_output_equivalence(name):
 @pytest.mark.parametrize("name", ["calcc", "pf", "upas"])
 def test_allocation_reduces_scalar_traffic(name):
     bench = BENCHES[name]
-    base = compile_and_run(bench.source, O0)
-    o2 = compile_and_run(bench.source, O2)
+    base = run_cached(bench.source, O0)
+    o2 = run_cached(bench.source, O2)
     assert o2.scalar_memops < base.scalar_memops
     assert o2.cycles < base.cycles
 
@@ -52,12 +54,12 @@ def test_allocation_reduces_scalar_traffic(name):
 def test_suite_is_call_intensive():
     # the paper picks call-intensive programs: cycles/call stays small
     for name in ("nim", "calcc", "ccom"):
-        stats = compile_and_run(BENCHES[name].source, O2)
+        stats = run_cached(BENCHES[name].source, O2)
         assert stats.cycles_per_call < 100
 
 
 def test_open_and_closed_procedures_both_occur():
     # the suite must exercise both regimes of Section 3
-    prog = compile_program(BENCHES["stanford"].source, O3_SW)
+    prog = compile_cached(BENCHES["stanford"].source, O3_SW)
     modes = {p.mode for p in prog.plan.plans.values()}
     assert modes == {"open", "closed"}

@@ -1,4 +1,9 @@
-"""Pytest configuration: make ``helpers`` importable and define fixtures."""
+"""Pytest configuration: make ``helpers`` importable and define fixtures.
+
+Anything shared with ``benchmarks/`` (the ``once`` benchmark wrapper,
+the session-wide compile cache) is defined once in ``helpers.py``; both
+conftests only add it to ``sys.path``.
+"""
 
 from __future__ import annotations
 

@@ -26,6 +26,51 @@ ALL_LEVELS = [O0, O1, O2, O2_SW, O3, O3_SW]
 LEVEL_IDS = ["O0", "O1", "O2", "O2_SW", "O3", "O3_SW"]
 
 
+# --------------------------------------------------------------------------
+# Session-wide compile/run sharing (used by tests/ and benchmarks/ alike,
+# so each benchsuite program compiles once per pytest session per config)
+# --------------------------------------------------------------------------
+
+_ENGINE = None
+_COMPILE_MEMO: Dict[tuple, object] = {}
+_RUN_MEMO: Dict[tuple, object] = {}
+
+
+def compile_cached(source, options):
+    """Whole-program compile memoised for the pytest session.
+
+    Backed by one shared :class:`repro.Engine`, so even distinct
+    (source, options) pairs reuse each other's per-procedure work."""
+    global _ENGINE
+    key = (source, options)
+    program = _COMPILE_MEMO.get(key)
+    if program is None:
+        if _ENGINE is None:
+            from repro import Engine
+
+            _ENGINE = Engine()
+        program = _ENGINE.compile(source, options)
+        _COMPILE_MEMO[key] = program
+    return program
+
+
+def run_cached(source, options, check_contracts: bool = False):
+    """``compile_and_run`` memoised for the pytest session."""
+    key = (source, options, check_contracts)
+    stats = _RUN_MEMO.get(key)
+    if stats is None:
+        stats = compile_cached(source, options).run(
+            check_contracts=check_contracts
+        )
+        _RUN_MEMO[key] = stats
+    return stats
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the pytest-benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
 def lower(source: str, name: str = "test"):
     """Parse/analyze/lower a source string to an IR module."""
     return lower_module(analyze(parse(source, name)))
