@@ -5,8 +5,13 @@ For every benchmark-suite program this measures
 
 * ``compile_s`` -- wall-clock seconds for the full pipeline (parse,
   lower, allocate at O3_SW, codegen, link),
-* ``sim_cycles_per_s`` -- simulated machine cycles retired per wall-clock
-  second of the pre-decoded interpreter loop, and
+* ``sim`` -- simulated machine cycles retired per wall-clock second on
+  *both* simulator tiers (the reference interpreter and the
+  block-translating JIT), with the two tiers' RunStats asserted
+  bit-identical on every program,
+* ``parallel_suite`` -- wall-clock for a baseline-vs-C suite sweep, run
+  serially on the interpreter and fanned out over a process pool on the
+  JIT tier, with identical statistics required from both, and
 * ``incremental`` -- cold vs warm recompile time through a
   ``repro.Compiler`` session after editing one procedure, with the warm
   executable checked bit-identical to a from-scratch compile.
@@ -15,9 +20,11 @@ Results land in ``benchmarks/BENCH_speed.json`` next to this script so a
 checked-in baseline can be compared across commits (engine cache
 observability goes to ``BENCH_engine_stats.json`` alongside).
 ``--check`` runs a fast smoke pass -- every program compiles and
-simulates, throughput is positive, and the warm/cold speedup stays above
-the regression floor -- without overwriting the baseline; that is what
-CI runs.
+simulates, throughput is positive, the JIT tier clears its aggregate
+speedup floor over the interpreter, and the warm/cold recompile speedup
+stays above its floor -- without overwriting the baseline; that is what
+CI runs.  (The parallel sweep is identity-checked but has no wall-clock
+floor: CI machines may have a single core.)
 
 Usage::
 
@@ -29,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -36,7 +44,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import Compiler
-from repro.benchsuite import benchmark_names, load_benchmarks
+from repro.benchsuite import benchmark_names, load_benchmarks, run_suite
 from repro.engine.frontend import split_chunks
 from repro.pipeline import O3_SW, compile_program
 
@@ -46,6 +54,10 @@ STATS_PATH = Path(__file__).resolve().parent / "BENCH_engine_stats.json"
 #: --check fails below this warm/cold speedup (the recorded baseline is
 #: far higher; the floor only catches cache regressions, not CI jitter)
 MIN_WARM_SPEEDUP = 3.0
+
+#: --check fails when the JIT tier's aggregate simulation throughput
+#: over the whole suite is below this multiple of the interpreter's
+MIN_SIM_SPEEDUP = 3.0
 
 
 def edit_one_procedure(source: str, salt: int) -> str:
@@ -106,20 +118,61 @@ def bench_one(name: str, source: str, repeats: int) -> dict:
         dt = time.perf_counter() - t0
         best_compile = dt if best_compile is None else min(best_compile, dt)
 
-    best_sim = None
-    stats = None
+    # both tiers must retire the exact same execution
+    stats = program.run(sim_tier="interp")
+    jit_stats = program.run(sim_tier="jit")  # also warms the translation
+    if jit_stats != stats:
+        raise AssertionError(f"{name}: JIT RunStats differ from interpreter")
+
+    best_interp = None
+    best_jit = None
     for _ in range(repeats):
         t0 = time.perf_counter()
-        stats = program.run()
+        program.run(sim_tier="interp")
         dt = time.perf_counter() - t0
-        best_sim = dt if best_sim is None else min(best_sim, dt)
+        best_interp = dt if best_interp is None else min(best_interp, dt)
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        program.run(sim_tier="jit")
+        dt = time.perf_counter() - t0
+        best_jit = dt if best_jit is None else min(best_jit, dt)
 
     return {
         "compile_s": round(best_compile, 4),
         "cycles": stats.cycles,
         "instructions": stats.instructions,
-        "sim_s": round(best_sim, 4),
-        "sim_cycles_per_s": int(stats.cycles / best_sim) if best_sim else 0,
+        "sim_interp_s": round(best_interp, 4),
+        "sim_jit_s": round(best_jit, 4),
+        "interp_cycles_per_s": (
+            int(stats.cycles / best_interp) if best_interp else 0
+        ),
+        "jit_cycles_per_s": int(stats.cycles / best_jit) if best_jit else 0,
+        "jit_speedup": round(best_interp / best_jit, 2) if best_jit else 0.0,
+    }
+
+
+def bench_parallel_suite(jobs: int) -> dict:
+    """Serial interpreter sweep vs process-parallel JIT sweep over the
+    full suite (baseline + config C), statistics required identical."""
+    t0 = time.perf_counter()
+    serial = run_suite(("C",), sim_tier="interp", jobs=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_suite(("C",), sim_tier="jit", jobs=jobs)
+    parallel_s = time.perf_counter() - t0
+
+    for a, b in zip(serial, parallel):
+        if a.stats != b.stats:
+            raise AssertionError(
+                f"{a.benchmark.name}: parallel JIT sweep statistics "
+                f"differ from the serial interpreter sweep"
+            )
+    return {
+        "jobs": jobs,
+        "serial_interp_s": round(serial_s, 4),
+        "parallel_jit_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 2) if parallel_s else 0.0,
     }
 
 
@@ -144,24 +197,55 @@ def main(argv=None) -> int:
         print(
             f"{name:10s} compile {r['compile_s']:7.3f}s   "
             f"{r['cycles']:>10d} cycles   "
-            f"{r['sim_cycles_per_s']:>12,d} cycles/s"
+            f"interp {r['interp_cycles_per_s']:>12,d} c/s   "
+            f"jit {r['jit_cycles_per_s']:>12,d} c/s   "
+            f"{r['jit_speedup']:5.2f}x"
         )
-        if r["cycles"] <= 0 or r["sim_cycles_per_s"] <= 0:
+        if r["cycles"] <= 0 or r["interp_cycles_per_s"] <= 0:
             print(f"FAIL: {name} produced no simulated work", file=sys.stderr)
             return 1
 
     total = {
         "compile_s": round(sum(r["compile_s"] for r in results.values()), 4),
         "cycles": sum(r["cycles"] for r in results.values()),
-        "sim_s": round(sum(r["sim_s"] for r in results.values()), 4),
+        "sim_interp_s": round(
+            sum(r["sim_interp_s"] for r in results.values()), 4
+        ),
+        "sim_jit_s": round(sum(r["sim_jit_s"] for r in results.values()), 4),
     }
-    total["sim_cycles_per_s"] = (
-        int(total["cycles"] / total["sim_s"]) if total["sim_s"] else 0
+    total["interp_cycles_per_s"] = (
+        int(total["cycles"] / total["sim_interp_s"])
+        if total["sim_interp_s"] else 0
+    )
+    total["jit_cycles_per_s"] = (
+        int(total["cycles"] / total["sim_jit_s"]) if total["sim_jit_s"] else 0
+    )
+    total["jit_speedup"] = (
+        round(total["sim_interp_s"] / total["sim_jit_s"], 2)
+        if total["sim_jit_s"] else 0.0
     )
     print(
         f"{'TOTAL':10s} compile {total['compile_s']:7.3f}s   "
         f"{total['cycles']:>10d} cycles   "
-        f"{total['sim_cycles_per_s']:>12,d} cycles/s"
+        f"interp {total['interp_cycles_per_s']:>12,d} c/s   "
+        f"jit {total['jit_cycles_per_s']:>12,d} c/s   "
+        f"{total['jit_speedup']:5.2f}x"
+    )
+    if total["jit_speedup"] < MIN_SIM_SPEEDUP:
+        print(
+            f"FAIL: aggregate JIT speedup {total['jit_speedup']}x is below "
+            f"the {MIN_SIM_SPEEDUP}x regression floor",
+            file=sys.stderr,
+        )
+        return 1
+
+    # process-parallel suite sweep on the JIT tier vs serial interpreter
+    parallel = bench_parallel_suite(jobs=os.cpu_count() or 1)
+    print(
+        f"{'SUITE':10s} serial-interp {parallel['serial_interp_s']:7.3f}s   "
+        f"parallel-jit({parallel['jobs']}) "
+        f"{parallel['parallel_jit_s']:7.3f}s   "
+        f"speedup {parallel['speedup']:5.2f}x"
     )
 
     # warm-vs-cold incremental recompile through a Compiler session
@@ -208,6 +292,7 @@ def main(argv=None) -> int:
             "repeats": repeats,
             "programs": results,
             "total": total,
+            "parallel_suite": parallel,
             "incremental": {"programs": incremental, "total": inc_total},
         }
         RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -43,7 +43,15 @@ from repro.pipeline import (
     TABLE2_D,
     TABLE2_E,
 )
-from repro.sim import ContractViolation, RunStats, percent_reduction, run_program
+from repro.sim import (
+    ContractViolation,
+    RunStats,
+    SIM_TIERS,
+    percent_reduction,
+    run_jit,
+    run_program,
+    simulate,
+)
 
 __version__ = "1.0.0"
 
@@ -70,7 +78,10 @@ __all__ = [
     "TABLE2_E",
     "ContractViolation",
     "RunStats",
+    "SIM_TIERS",
     "percent_reduction",
+    "run_jit",
     "run_program",
+    "simulate",
     "__version__",
 ]

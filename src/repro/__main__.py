@@ -10,7 +10,8 @@ Usage::
     python -m repro dot PROG.mc [options]                 # call graph (DOT)
 
 Options: -O0/-O1/-O2/-O3, --shrink-wrap, --no-combine, --callers N,
---callees N, --ipra-globals, --check, --entry NAME.
+--callees N, --ipra-globals, --check, --entry NAME,
+--sim-tier auto|interp|jit.
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ from typing import List
 
 from repro.ir.printer import format_module
 from repro.pipeline import compile_program, CompilerOptions
+from repro.sim import SIM_TIERS
 from repro.target.codegen import generate_function
 from repro.target.registers import callee_only_file, caller_only_file
 
@@ -67,6 +69,8 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="enable the dynamic convention checker")
     parser.add_argument("--entry", default="main")
+    parser.add_argument("--sim-tier", default="auto", choices=SIM_TIERS,
+                        help="simulator tier (default: auto)")
     args = parser.parse_args(argv)
 
     prog = compile_program(_sources(args.files), _options(args))
@@ -91,7 +95,7 @@ def main(argv: List[str] = None) -> int:
             print()
         return 0
 
-    stats = prog.run(check_contracts=args.check)
+    stats = prog.run(check_contracts=args.check, sim_tier=args.sim_tier)
     if args.command == "run":
         for value in stats.output:
             print(value)

@@ -8,8 +8,9 @@ that baseline, in executed cycles (columns I) and in scalar loads/stores
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.benchsuite.registry import Benchmark, load_benchmarks
 from repro.pipeline.driver import compile_program
@@ -49,6 +50,7 @@ def run_benchmark(
     check_contracts: bool = False,
     overrides: Optional[Dict[str, CompilerOptions]] = None,
     compile_fn=None,
+    sim_tier: str = "auto",
 ) -> BenchResult:
     """Compile and run one benchmark under the named paper configs
     (plus the baseline, always).  Verifies output equivalence across all
@@ -57,6 +59,8 @@ def run_benchmark(
     ``compile_fn(source, options)`` replaces the one-shot
     :func:`compile_program` when given -- pass a session-cached compiler
     so repeated table regenerations share the baseline compiles.
+    ``sim_tier`` selects the simulator tier for every run (both tiers
+    produce identical statistics; see :func:`repro.sim.simulate`).
     """
     if compile_fn is None:
         compile_fn = compile_program
@@ -65,26 +69,73 @@ def run_benchmark(
     for config in wanted:
         options = (overrides or {}).get(config) or PAPER_CONFIGS[config]
         program = compile_fn(benchmark.source, options)
-        result.stats[config] = program.run(check_contracts=check_contracts)
+        result.stats[config] = program.run(
+            check_contracts=check_contracts, sim_tier=sim_tier
+        )
+    _check_output_equivalence(result)
+    return result
+
+
+def _check_output_equivalence(result: BenchResult) -> None:
     outputs = {tuple(s.output) for s in result.stats.values()}
     if len(outputs) != 1:
         raise AssertionError(
-            f"{benchmark.name}: outputs differ across configurations"
+            f"{result.benchmark.name}: outputs differ across configurations"
         )
-    return result
+
+
+def _run_one(
+    bench_name: str, config: str, check_contracts: bool, sim_tier: str
+) -> Tuple[str, str, RunStats]:
+    """Worker for the parallel suite: compile and run one
+    (benchmark, config) cell.  Module-level, and handed only strings, so
+    it pickles cleanly into worker processes."""
+    benchmark = load_benchmarks()[bench_name]
+    program = compile_program(benchmark.source, PAPER_CONFIGS[config])
+    stats = program.run(check_contracts=check_contracts, sim_tier=sim_tier)
+    return bench_name, config, stats
 
 
 def run_suite(
     configs: Iterable[str],
     names: Optional[Iterable[str]] = None,
     check_contracts: bool = False,
+    sim_tier: str = "auto",
+    jobs: int = 1,
 ) -> List[BenchResult]:
+    """Run every selected benchmark under the named configs.
+
+    ``jobs`` > 1 fans the independent (benchmark, config) cells out over
+    a process pool -- each cell compiles and simulates in its own
+    worker, and the results are reassembled (and output-equivalence
+    checked) in suite order, so the answer is identical to a serial run.
+    """
     benches = load_benchmarks()
     selected = list(names) if names is not None else list(benches)
-    return [
-        run_benchmark(benches[name], configs, check_contracts)
-        for name in selected
-    ]
+    if jobs <= 1:
+        return [
+            run_benchmark(
+                benches[name], configs, check_contracts, sim_tier=sim_tier
+            )
+            for name in selected
+        ]
+    wanted = ["base"] + [c for c in configs if c != "base"]
+    cells = [(name, config) for name in selected for config in wanted]
+    results = {
+        name: BenchResult(benchmark=benches[name]) for name in selected
+    }
+    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+        futures = [
+            pool.submit(_run_one, name, config, check_contracts, sim_tier)
+            for name, config in cells
+        ]
+        for future in futures:
+            name, config, stats = future.result()
+            results[name].stats[config] = stats
+    ordered = [results[name] for name in selected]
+    for result in ordered:
+        _check_output_equivalence(result)
+    return ordered
 
 
 def format_table1(results: List[BenchResult]) -> str:

@@ -39,6 +39,8 @@ def _fold_instr(ins: IRInstr) -> Optional[IRInstr]:
         if isinstance(a, Const) and isinstance(b, Const):
             if ins.op in ("/", "%") and b.value == 0:
                 return None  # preserve the trap
+            if ins.op in ("<<", ">>") and not 0 <= b.value <= 63:
+                return None  # preserve the trap
             value = arith.BINOPS[ins.op](a.value, b.value)
             return Mov(ins.dst, Const(value))
         # algebraic identities

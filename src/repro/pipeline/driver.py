@@ -35,7 +35,6 @@ from repro.pipeline.linker import (
     link_ir_modules,
 )
 from repro.pipeline.options import CompilerOptions, O2
-from repro.sim.simulator import run_program
 from repro.sim.stats import RunStats
 from repro.target.codegen import generate_function
 from repro.target.registers import (
@@ -57,7 +56,10 @@ class CompiledProgram:
     options: CompilerOptions
 
     def run(self, **kwargs) -> RunStats:
-        return run_program(self.executable, **kwargs)
+        """Simulate the program; ``sim_tier`` selects the engine
+        ("auto" picks the block-translating tier unless contract
+        checking or block profiling needs the interpreter)."""
+        return self.executable.run(**kwargs)
 
 
 def _parse_sources(sources: Union[Source, Sequence[Source]]) -> List[IRModule]:

@@ -42,6 +42,18 @@ class Executable:
     def label_of_pc(self, pc: int) -> Optional[str]:
         return self.func_at_pc.get(pc)
 
+    def run(self, **kwargs):
+        """Execute the image and return its
+        :class:`~repro.sim.stats.RunStats`.
+
+        Accepts everything :func:`repro.sim.simulate` does, notably
+        ``sim_tier`` ("auto"/"interp"/"jit") selecting the simulator
+        tier.  Import is deferred: the simulator imports this module.
+        """
+        from repro.sim.jit import simulate
+
+        return simulate(self, **kwargs)
+
 
 def link_ir_modules(modules: Sequence[IRModule], name: str = "program") -> IRModule:
     """Merge IR modules into one program, resolving externs."""

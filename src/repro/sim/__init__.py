@@ -1,5 +1,15 @@
-"""Virtual-machine simulator and pixie-style statistics."""
+"""Virtual-machine simulators and pixie-style statistics.
 
+Two execution tiers, selected by the ``sim_tier`` knob on
+:func:`simulate` (and on every ``RunStats``-producing entry point above
+it): the tier-1 reference interpreter (:func:`run_program`) and the
+tier-2 block-translating pixie-JIT (:func:`run_jit`).  Both produce
+bit-identical :class:`RunStats`; the interpreter additionally supports
+contract checking and block-count profiling, to which ``auto`` falls
+back.
+"""
+
+from repro.sim.jit import JitProgram, run_jit, SIM_TIERS, simulate
 from repro.sim.simulator import (
     ContractViolation,
     DEFAULT_MAX_CYCLES,
@@ -12,7 +22,11 @@ __all__ = [
     "ContractViolation",
     "DEFAULT_MAX_CYCLES",
     "DEFAULT_STACK_WORDS",
+    "JitProgram",
     "run_program",
+    "run_jit",
+    "simulate",
+    "SIM_TIERS",
     "RunStats",
     "percent_reduction",
 ]

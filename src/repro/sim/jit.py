@@ -1,0 +1,556 @@
+"""Tier-2 block-translating simulator -- the reproduction's pixie-JIT.
+
+The tier-1 interpreter in :mod:`repro.sim.simulator` pays a dispatch
+tuple-unpack and an if/elif walk for every instruction.  This module
+removes that per-instruction cost the way pixie itself did: by
+*translating* the program once into native code -- here, Python
+functions produced by source synthesis and ``compile()``/``exec()``.
+
+Translation scheme
+------------------
+
+* The decoded stream is split at *leaders*: the entry pc, every static
+  branch/jump target (the ``imm`` of B/BEQZ/BNEZ/JAL), every function
+  entry, and every fall-through successor of a control transfer (JR
+  return addresses).
+* Each leader becomes one Python function ``_b<pc>(r, m, o, c, y)``
+  (registers, memory, output, exit counters, cycles) covering a
+  **superblock**: translation continues straight through forward
+  unconditional jumps (free at run time), fall-throughs into other
+  leaders, and the fall-through arm of conditional branches (the taken
+  arm becomes an early-``return`` "if" body), up to an instruction cap,
+  a call/return, HALT, or any backward transfer.  The pc therefore
+  increases strictly along a superblock, so a superblock is a loop-free
+  forward region; loops re-enter their header block once per iteration.
+* Straight-line register ops are inlined with no dispatch: register
+  reads/writes are cached in Python locals for the whole superblock and
+  written back only at exits, reads of $zero fold to the literal ``0``,
+  and writes to $zero are discarded (their trapping operand evaluation
+  is kept).
+* Per-instruction counters disappear.  Every superblock *exit* gets an
+  id and a record of the instructions on the unique entry-to-exit path,
+  so instructions, calls, branches and loads/stores by
+  :class:`~repro.target.isa.MemKind` are constants per exit: each
+  execution bumps one counter (``c[exit] += 1``) and the totals are
+  reconstructed after HALT.  Cycles are threaded through as a running
+  local (``y``) because the budget check needs them.
+* The cycle-budget check is hoisted to exit granularity: once at every
+  superblock exit, plus a guard before any instruction that can itself
+  trap (using the path-constant cycle prefix, so a budget overrun
+  preempts exactly the traps it used to preempt).  Checking at *every*
+  exit is a superset of the interpreter's backward-branch/call/return
+  checks, and the extra checks are unobservable: once over budget, the
+  interpreter's next check raises the identical trap before any other
+  trap can differ (trapping instructions are pre-guarded), and state is
+  discarded on a trap anyway.  The one place the interpreter can trap
+  *differently* while over budget -- running off the end of the code --
+  is replicated exactly: exits to an invalid pc raise ``pc outside
+  code`` with a preceding budget check only where the interpreter had
+  one (backward branches, calls).  HALT keeps the interpreter's quirk
+  of never checking its own latency.
+* Exits return the *successor's block function* directly
+  (``return _b42, y``); the driver loop is just
+  ``while fn is not None: fn, y = fn(r, m, o, c, y)``.  Dynamic targets
+  (JR/JALR) go through a pc -> function table, translating unseen pcs
+  on demand, so even a sabotaged executable that jumps mid-block still
+  runs (or traps) exactly like the interpreter.
+
+The translation is cached on the executable next to ``_decoded``, keyed
+by ``(stack_words, max_cycles)`` since memory bounds and the budget are
+baked into the generated source as literals.
+
+The interpreter remains the retained reference oracle: contract checking
+and ``block_counts`` profiling are interpreter features, and
+:func:`simulate` routes runs that need them (tier ``auto``) back to it.
+Identity between the tiers -- bit-identical :class:`RunStats` including
+trap behaviour -- is enforced by the differential tests in
+``tests/sim/`` and by ``benchmarks/bench_speed.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.ir.arith import MachineTrap, sdiv, srem
+from repro.pipeline.linker import Executable
+from repro.sim.simulator import (
+    DEFAULT_MAX_CYCLES,
+    DEFAULT_STACK_WORDS,
+    DUMP_INDEX,
+    decoded_stream,
+    run_program,
+    _ADD, _SUB, _MUL, _DIV, _REM, _AND, _OR, _XOR, _SLL, _SRL, _SRA,
+    _SLT, _SLE, _SEQ, _SNE, _ADDI, _LI, _LA, _MOVE, _NEG, _NOT, _LW,
+    _SW, _B, _BEQZ, _BNEZ, _JAL, _JALR, _JR, _PRINT, _HALT,
+    _KINDS, _LAT,
+)
+from repro.sim.stats import RunStats
+from repro.target.isa import srl
+from repro.target.registers import NUM_REGISTERS, RA, SP
+
+__all__ = ["JitProgram", "run_jit", "simulate", "SIM_TIERS"]
+
+#: binary ALU ops with a plain infix translation
+_INFIX = {
+    _ADD: "+", _SUB: "-", _MUL: "*", _AND: "&", _OR: "|", _XOR: "^",
+}
+
+#: comparison ops translated to conditional expressions
+_COMPARE = {_SLT: "<", _SLE: "<=", _SEQ: "==", _SNE: "!="}
+
+#: superblock growth cap, in translated instructions.  Big enough that a
+#: typical loop body or call-to-call region is one superblock, small
+#: enough to bound tail duplication from inlining across leaders.
+INLINE_CAP = 96
+
+
+class _ExitPath:
+    """Stat constants for one superblock exit: the dynamic counts of the
+    unique entry-to-exit path, multiplied by the exit counter after a
+    run."""
+
+    __slots__ = ("ninstr", "cycles", "calls", "branches", "loads", "stores")
+
+    def __init__(self, ninstr, cycles, calls, branches, loads, stores):
+        self.ninstr = ninstr
+        self.cycles = cycles
+        self.calls = calls
+        self.branches = branches
+        self.loads = loads    # kind number -> count
+        self.stores = stores
+
+
+class JitProgram:
+    """A block-translated executable, ready to run.
+
+    One instance is specific to a ``(stack_words, max_cycles)`` pair;
+    :func:`run_jit` caches instances on the executable.  Instances are
+    reusable across runs but, like the generated functions they hold,
+    not thread-safe (use process-level parallelism, as the benchmark
+    suite harness does).
+    """
+
+    def __init__(
+        self,
+        exe: Executable,
+        stack_words: int = DEFAULT_STACK_WORDS,
+        max_cycles: int = DEFAULT_MAX_CYCLES,
+    ):
+        self.exe = exe
+        self.mem_size = exe.data_size + stack_words
+        self.max_cycles = max_cycles
+        self.code = decoded_stream(exe)
+        self.ncode = len(self.code)
+        self.exits: List[_ExitPath] = []
+        self.table: Dict[int, Callable] = {}
+        self._counts: List[int] = []
+        self.ns: Dict[str, object] = {
+            "MachineTrap": MachineTrap,
+            "sdiv": sdiv,
+            "srem": srem,
+            "srl": srl,
+            "_jump": self._jump,
+            "_T": self.table,
+        }
+        self._leaders = self._find_leaders()
+        self._queued: Set[int] = set(self._leaders)
+        self._queue: List[int] = sorted(self._leaders)
+        self._drain_queue()
+
+    # -- translation --------------------------------------------------------
+
+    def _find_leaders(self) -> Set[int]:
+        leaders = {self.exe.entry_pc}
+        leaders.update(self.exe.func_entries.values())
+        transfers = (_B, _BEQZ, _BNEZ, _JAL, _JALR, _JR, _HALT)
+        for pc, ins in enumerate(self.code):
+            op = ins[0]
+            if op in (_B, _BEQZ, _BNEZ, _JAL) and 0 <= ins[4] < self.ncode:
+                leaders.add(ins[4])
+            if op in transfers and pc + 1 < self.ncode:
+                leaders.add(pc + 1)
+        return {pc for pc in leaders if 0 <= pc < self.ncode}
+
+    def _drain_queue(self) -> None:
+        """Translate every queued pc (plus any exit target the
+        translations reference) and install the result."""
+        sources = []
+        while self._queue:
+            sources.append(self._translate_superblock(self._queue.pop()))
+        if sources:
+            self._install("\n".join(sources))
+
+    def _enqueue(self, pc: int) -> None:
+        if pc not in self._queued:
+            self._queued.add(pc)
+            self._queue.append(pc)
+
+    def _translate_superblock(self, start: int) -> str:
+        """Synthesise the source of the superblock rooted at ``start``,
+        registering an :class:`_ExitPath` per exit; returns the ``def``
+        source text."""
+        code = self.code
+        ncode = self.ncode
+        max_cycles = self.max_cycles
+        lines = [f"def _b{start}(r, m, o, c, y):"]
+        known: Set[int] = set()    # registers cached in a local
+        written: List[int] = []    # registers needing write-back, in order
+        # running path stats from the superblock entry
+        ninstr = 0
+        prefix = 0                 # cycles accrued so far on the path
+        calls = 0
+        branches = 0
+        loads: Dict[int, int] = {}
+        stores: Dict[int, int] = {}
+
+        def read(i: int) -> str:
+            if i == 0:
+                return "0"  # $zero: nothing ever writes it (see DUMP_INDEX)
+            if i not in known:
+                lines.append(f"    r{i} = r[{i}]")
+                known.add(i)
+            return f"r{i}"
+
+        def write(i: int) -> Optional[str]:
+            if i == 0 or i == DUMP_INDEX:
+                return None
+            if i not in known:
+                known.add(i)
+            if i not in written:
+                written.append(i)
+            return f"r{i}"
+
+        def budget_guard() -> None:
+            # before a trapping instruction: the interpreter's budget trap
+            # at any *earlier* instruction must still preempt this one
+            if prefix > 0:
+                lines.append(
+                    f"    if y + {prefix} > {max_cycles}:"
+                    f" raise MachineTrap('cycle budget exceeded')"
+                )
+
+        def emit_exit(
+            ind: str, ret: str,
+            budget: bool = True, halting: bool = False, bump: bool = True,
+        ) -> None:
+            """Write-backs, cycle accrual, budget check, exit counter and
+            the transfer itself, at indentation ``ind``."""
+            for i in written:
+                lines.append(f"{ind}r[{i}] = r{i}")
+            lines.append(f"{ind}y += {prefix}")
+            if budget:
+                lhs = "y - 1" if halting else "y"  # HALT's cost: unchecked
+                lines.append(
+                    f"{ind}if {lhs} > {max_cycles}:"
+                    f" raise MachineTrap('cycle budget exceeded')"
+                )
+            if bump:
+                eid = len(self.exits)
+                self.exits.append(_ExitPath(
+                    ninstr, prefix, calls, branches,
+                    dict(loads), dict(stores),
+                ))
+                if len(self._counts) < len(self.exits):
+                    self._counts.append(0)
+                lines.append(f"{ind}c[{eid}] += 1")
+            lines.append(f"{ind}{ret}")
+
+        def exit_to(ind: str, target: int, checked: bool = True) -> None:
+            """Exit transferring to static pc ``target``.  ``checked``
+            says whether the interpreter ran a budget check on this
+            transfer (backward branch / call); it decides whether an
+            *invalid* target budget-checks before trapping, matching the
+            interpreter's check-then-fetch order."""
+            if 0 <= target < ncode:
+                self._enqueue(target)
+                emit_exit(ind, f"return _b{target}, y")
+            else:
+                emit_exit(
+                    ind,
+                    f"raise MachineTrap('pc {target} outside code')",
+                    budget=checked, bump=False,
+                )
+
+        def addr_expr(base: int, imm: int) -> None:
+            off = f" + {imm}" if imm > 0 else (f" - {-imm}" if imm < 0 else "")
+            lines.append(f"    a = {read(base)}{off}")
+
+        pc = start
+        while True:
+            op, rd, rs, rt, imm, kind = code[pc]
+            ninstr += 1
+            lat = _LAT[op]
+
+            if op == _LW:
+                budget_guard()
+                addr_expr(rs, imm)
+                lines.append(
+                    f"    if a < 1 or a >= {self.mem_size}:"
+                    f" raise MachineTrap('bad load address %d at pc={pc}' % a)"
+                )
+                w = write(rd)
+                if w is not None:
+                    lines.append(f"    {w} = m[a]")
+                loads[kind] = loads.get(kind, 0) + 1
+            elif op == _SW:
+                budget_guard()
+                addr_expr(rt, imm)
+                lines.append(
+                    f"    if a < 1 or a >= {self.mem_size}:"
+                    f" raise MachineTrap('bad store address %d at pc={pc}' % a)"
+                )
+                lines.append(f"    m[a] = {read(rs)}")
+                stores[kind] = stores.get(kind, 0) + 1
+            elif op in _INFIX:
+                a, b = read(rs), read(rt)
+                w = write(rd)
+                if w is not None:
+                    lines.append(f"    {w} = {a} {_INFIX[op]} {b}")
+            elif op == _ADDI:
+                a = read(rs)
+                w = write(rd)
+                if w is not None:
+                    rhs = a if imm == 0 else (
+                        f"{a} + {imm}" if imm > 0 else f"{a} - {-imm}"
+                    )
+                    lines.append(f"    {w} = {rhs}")
+            elif op == _LI or op == _LA:
+                w = write(rd)
+                if w is not None:
+                    lines.append(f"    {w} = {imm}")
+            elif op == _MOVE:
+                a = read(rs)
+                w = write(rd)
+                if w is not None and w != a:
+                    lines.append(f"    {w} = {a}")
+            elif op in _COMPARE:
+                a, b = read(rs), read(rt)
+                w = write(rd)
+                if w is not None:
+                    lines.append(
+                        f"    {w} = 1 if {a} {_COMPARE[op]} {b} else 0"
+                    )
+            elif op == _DIV or op == _REM:
+                budget_guard()
+                fname = "sdiv" if op == _DIV else "srem"
+                a, b = read(rs), read(rt)
+                w = write(rd)
+                call = f"{fname}({a}, {b})"
+                lines.append(
+                    f"    {w} = {call}" if w is not None else f"    {call}"
+                )
+            elif op == _SLL or op == _SRL or op == _SRA:
+                budget_guard()
+                s = read(rt)
+                lines.append(
+                    f"    if {s} < 0 or {s} > 63:"
+                    f" raise MachineTrap('shift amount %d out of range' % {s})"
+                )
+                a = read(rs)
+                w = write(rd)
+                if w is not None:
+                    if op == _SLL:
+                        lines.append(f"    {w} = {a} << {s}")
+                    elif op == _SRA:
+                        lines.append(f"    {w} = {a} >> {s}")
+                    else:
+                        lines.append(f"    {w} = srl({a}, {s})")
+            elif op == _NEG:
+                a = read(rs)
+                w = write(rd)
+                if w is not None:
+                    lines.append(f"    {w} = -{a}" if a != "0"
+                                 else f"    {w} = 0")
+            elif op == _NOT:
+                a = read(rs)
+                w = write(rd)
+                if w is not None:
+                    lines.append(f"    {w} = 1 if {a} == 0 else 0")
+            elif op == _PRINT:
+                lines.append(f"    o.append({read(rs)})")
+            elif op == _BEQZ or op == _BNEZ:
+                branches += 1
+                prefix += lat
+                cond = read(rs)
+                test = "==" if op == _BEQZ else "!="
+                lines.append(f"    if {cond} {test} 0:")
+                exit_to("        ", imm, checked=imm <= pc)
+                # the taken arm returned; fall through inline (below)
+                pc += 1
+                if pc < ncode and ninstr < INLINE_CAP:
+                    continue
+                exit_to("    ", pc, checked=False)
+                break
+            elif op == _B:
+                prefix += lat
+                if pc < imm < ncode and ninstr < INLINE_CAP:
+                    # a forward jump inlines for free; backward jumps
+                    # exit so every loop iteration meets a budget check,
+                    # like the interpreter's backward-branch check
+                    pc = imm
+                    continue
+                exit_to("    ", imm, checked=imm <= pc)
+                break
+            elif op == _JAL:
+                calls += 1
+                prefix += lat
+                w = write(RA.index)
+                lines.append(f"    {w} = {pc + 1}")
+                exit_to("    ", imm, checked=True)
+                break
+            elif op == _JALR:
+                calls += 1
+                prefix += lat
+                lines.append(f"    t = {read(rs)}")
+                w = write(RA.index)
+                lines.append(f"    {w} = {pc + 1}")
+                emit_exit("    ", "return _T.get(t) or _jump(t), y")
+                break
+            elif op == _JR:
+                prefix += lat
+                lines.append(f"    t = {read(rs)}")
+                emit_exit("    ", "return _T.get(t) or _jump(t), y")
+                break
+            elif op == _HALT:
+                prefix += lat
+                emit_exit("    ", "return None, y", halting=True)
+                break
+            else:  # pragma: no cover - exhaustive over the opcode set
+                raise MachineTrap(f"unknown opcode number {op}")
+
+            # straight-line instruction: accrue and move on
+            prefix += lat
+            pc += 1
+            if pc >= ncode or ninstr >= INLINE_CAP:
+                exit_to("    ", pc, checked=False)
+                break
+
+        return "\n".join(lines) + "\n"
+
+    def _install(self, source: str) -> None:
+        exec(compile(source, f"<jit:{id(self.exe):#x}>", "exec"), self.ns)
+        for name, value in list(self.ns.items()):
+            if name.startswith("_b") and name[2:].isdigit():
+                self.table[int(name[2:])] = value
+
+    def _jump(self, pc: int) -> Callable:
+        """Resolve a dynamic jump target, translating on demand."""
+        fn = self.table.get(pc)
+        if fn is None:
+            if pc < 0 or pc >= self.ncode:
+                raise MachineTrap(f"pc {pc} outside code")
+            # a JR/JALR into an untranslated pc (possible only with a
+            # hand-built or corrupted image): translate a superblock
+            # starting right there
+            self._enqueue(pc)
+            self._drain_queue()
+            fn = self.table[pc]
+        return fn
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self) -> RunStats:
+        exe = self.exe
+        mem: List[int] = [0] * self.mem_size
+        for a, v in exe.data_init.items():
+            mem[a] = v
+        regs: List[int] = [0] * NUM_REGISTERS
+        regs[SP.index] = self.mem_size
+        out: List[int] = []
+        # _counts is extended by on-demand translation mid-run, which is
+        # why it lives on self (runs are not concurrent; see class doc)
+        counts = self._counts = [0] * len(self.exits)
+        cycles = 0
+
+        fn = self._jump(exe.entry_pc)
+        while fn is not None:
+            fn, cycles = fn(regs, mem, out, counts, cycles)
+
+        stats = RunStats()
+        stats.cycles = cycles
+        stats.output = out
+        nkinds = len(_KINDS)
+        load_counts = [0] * nkinds
+        store_counts = [0] * nkinds
+        exits = self.exits
+        for eid, n in enumerate(counts):
+            if not n:
+                continue
+            path = exits[eid]
+            stats.instructions += n * path.ninstr
+            stats.calls += n * path.calls
+            stats.branches += n * path.branches
+            for kind, cnt in path.loads.items():
+                load_counts[kind] += n * cnt
+            for kind, cnt in path.stores.items():
+                store_counts[kind] += n * cnt
+        for i, k in enumerate(_KINDS):
+            if load_counts[i]:
+                stats.loads[k] = load_counts[i]
+            if store_counts[i]:
+                stats.stores[k] = store_counts[i]
+        return stats
+
+
+def run_jit(
+    exe: Executable,
+    stack_words: int = DEFAULT_STACK_WORDS,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+) -> RunStats:
+    """Execute ``exe`` on the block-translating tier.
+
+    The translation is cached on the executable (next to ``_decoded``)
+    keyed by ``(stack_words, max_cycles)``, so repeated runs skip
+    straight to execution.
+    """
+    cache = getattr(exe, "_jit_cache", None)
+    if cache is None:
+        cache = {}
+        exe._jit_cache = cache  # type: ignore[attr-defined]
+    key = (stack_words, max_cycles)
+    prog = cache.get(key)
+    if prog is None:
+        prog = JitProgram(exe, stack_words, max_cycles)
+        cache[key] = prog
+    return prog.run()
+
+
+SIM_TIERS = ("auto", "interp", "jit")
+
+
+def simulate(
+    exe: Executable,
+    stack_words: int = DEFAULT_STACK_WORDS,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+    check_contracts: bool = False,
+    block_counts: Optional[Dict[int, int]] = None,
+    sim_tier: str = "auto",
+) -> RunStats:
+    """Execute ``exe`` on the selected simulator tier.
+
+    ``sim_tier`` is ``"auto"`` (default: the block-translating tier,
+    falling back to the interpreter whenever contract checking or block
+    profiling is requested -- those are interpreter features),
+    ``"interp"`` (always the reference interpreter) or ``"jit"``
+    (always the translator; incompatible with the interpreter-only
+    features).  Both tiers produce bit-identical :class:`RunStats`.
+    """
+    if sim_tier not in SIM_TIERS:
+        raise ValueError(
+            f"unknown sim_tier {sim_tier!r}; expected one of {SIM_TIERS}"
+        )
+    needs_interp = check_contracts or block_counts is not None
+    if sim_tier == "jit" and needs_interp:
+        raise ValueError(
+            "sim_tier='jit' supports neither check_contracts nor "
+            "block_counts; use sim_tier='auto' or 'interp'"
+        )
+    if sim_tier == "interp" or needs_interp:
+        return run_program(
+            exe,
+            stack_words=stack_words,
+            max_cycles=max_cycles,
+            check_contracts=check_contracts,
+            block_counts=block_counts,
+        )
+    return run_jit(exe, stack_words=stack_words, max_cycles=max_cycles)

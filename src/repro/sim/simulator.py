@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.ir.arith import MachineTrap, sdiv, srem
 from repro.pipeline.linker import Executable
 from repro.sim.stats import RunStats
-from repro.target.isa import latency, MemKind, Opcode
+from repro.target.isa import latency, MemKind, Opcode, srl
 from repro.target.registers import (
     ALL_REGISTERS,
     AT0,
@@ -56,6 +56,18 @@ _LAT: List[int] = [latency(op) for op in Opcode]
     _OPNUM[op] for op in Opcode
 )
 
+#: opcodes that write their ``rd`` operand
+_WRITES_RD = frozenset((
+    _ADD, _SUB, _MUL, _DIV, _REM, _AND, _OR, _XOR, _SLL, _SRL, _SRA,
+    _SLT, _SLE, _SEQ, _SNE, _ADDI, _LI, _LA, _MOVE, _NEG, _NOT, _LW,
+))
+
+#: ``rd`` slot that discards writes to $zero.  Decoding redirects any
+#: write whose destination is register 0 here, so the hot loop never
+#: needs the per-instruction ``regs[0] = 0`` reset: the register array
+#: simply carries one extra scratch word past the architected file.
+DUMP_INDEX = NUM_REGISTERS
+
 
 class ContractViolation(AssertionError):
     """The simulated program broke a calling-convention contract."""
@@ -74,15 +86,29 @@ def _decode(exe: Executable) -> List[Tuple[int, int, int, int, int, int]]:
     """Flatten instructions to (opnum, rd, rs, rt, imm, kind) int tuples."""
     decoded = []
     for ins in exe.instrs:
+        op = _OPNUM[ins.op]
+        rd = ins.rd.index if ins.rd is not None else 0
+        if rd == 0 and op in _WRITES_RD:
+            rd = DUMP_INDEX  # $zero is hardwired: discard the write
         decoded.append((
-            _OPNUM[ins.op],
-            ins.rd.index if ins.rd is not None else 0,
+            op,
+            rd,
             ins.rs.index if ins.rs is not None else 0,
             ins.rt.index if ins.rt is not None else 0,
             ins.imm if ins.imm is not None else 0,
             _KINDNUM[ins.kind] if ins.kind is not None else 0,
         ))
     return decoded
+
+
+def decoded_stream(exe: Executable) -> List[Tuple[int, int, int, int, int, int]]:
+    """The executable's decoded instruction stream, cached on ``exe``
+    (shared by the interpreter and the block-translating tier)."""
+    code = getattr(exe, "_decoded", None)
+    if code is None:
+        code = _decode(exe)
+        exe._decoded = code  # type: ignore[attr-defined]
+    return code
 
 
 def run_program(
@@ -103,16 +129,14 @@ def run_program(
     each visit increments the entry -- the profile-feedback extension's
     data source.
     """
-    code = getattr(exe, "_decoded", None)
-    if code is None:
-        code = _decode(exe)
-        exe._decoded = code  # type: ignore[attr-defined]
+    code = decoded_stream(exe)
 
     mem_size = exe.data_size + stack_words
     mem: List[int] = [0] * mem_size
     for a, v in exe.data_init.items():
         mem[a] = v
-    regs: List[int] = [0] * NUM_REGISTERS
+    # one extra slot past the architected file swallows writes to $zero
+    regs: List[int] = [0] * (NUM_REGISTERS + 1)
     regs[SP.index] = mem_size
     pc = exe.entry_pc
 
@@ -135,6 +159,15 @@ def run_program(
 
     profiling = block_counts is not None
 
+    # The cycle-budget check is hoisted out of the per-instruction path:
+    # it runs at control transfers (taken backward branches, calls and
+    # returns), immediately before any instruction that can itself trap
+    # (using the cycle count *excluding* that instruction, so the budget
+    # trap preempts exactly the instructions it used to preempt), and at
+    # HALT (excluding HALT's own latency, which was never checked).  Any
+    # execution that exceeded the budget under the per-instruction check
+    # still raises the same trap; only unobservable work between the
+    # overrun point and the next check point differs.
     while True:
         if pc < 0 or pc >= ncode:
             raise MachineTrap(f"pc {pc} outside code")
@@ -146,12 +179,16 @@ def run_program(
         npc = pc + 1
 
         if op == _LW:
+            if cycles - 2 > max_cycles:
+                raise MachineTrap("cycle budget exceeded")
             addr = regs[rs] + imm
             if addr < 1 or addr >= mem_size:
                 raise MachineTrap(f"bad load address {addr} at pc={pc}")
             regs[rd] = mem[addr]
             load_counts[kind] += 1
         elif op == _SW:
+            if cycles - 2 > max_cycles:
+                raise MachineTrap("cycle budget exceeded")
             addr = regs[rt] + imm
             if addr < 1 or addr >= mem_size:
                 raise MachineTrap(f"bad store address {addr} at pc={pc}")
@@ -171,12 +208,18 @@ def run_program(
             branches += 1
             if regs[rs] != 0:
                 npc = imm
+                if imm <= pc and cycles > max_cycles:
+                    raise MachineTrap("cycle budget exceeded")
         elif op == _BEQZ:
             branches += 1
             if regs[rs] == 0:
                 npc = imm
+                if imm <= pc and cycles > max_cycles:
+                    raise MachineTrap("cycle budget exceeded")
         elif op == _B:
             npc = imm
+            if imm <= pc and cycles > max_cycles:
+                raise MachineTrap("cycle budget exceeded")
         elif op == _SLT:
             regs[rd] = 1 if regs[rs] < regs[rt] else 0
         elif op == _SLE:
@@ -191,6 +234,8 @@ def run_program(
             if check_contracts:
                 _push_frame(shadow, exe, preserved_masks, imm, npc, regs)
             npc = imm
+            if cycles > max_cycles:
+                raise MachineTrap("cycle budget exceeded")
         elif op == _JALR:
             target = regs[rs]
             regs[ra_idx] = npc
@@ -198,15 +243,23 @@ def run_program(
             if check_contracts:
                 _push_frame(shadow, exe, preserved_masks, target, npc, regs)
             npc = target
+            if cycles > max_cycles:
+                raise MachineTrap("cycle budget exceeded")
         elif op == _JR:
             npc = regs[rs]
             if check_contracts and shadow:
                 _check_return(shadow, npc, regs)
+            if cycles > max_cycles:
+                raise MachineTrap("cycle budget exceeded")
         elif op == _MUL:
             regs[rd] = regs[rs] * regs[rt]
         elif op == _DIV:
+            if cycles - 35 > max_cycles:
+                raise MachineTrap("cycle budget exceeded")
             regs[rd] = sdiv(regs[rs], regs[rt])
         elif op == _REM:
+            if cycles - 35 > max_cycles:
+                raise MachineTrap("cycle budget exceeded")
             regs[rd] = srem(regs[rs], regs[rt])
         elif op == _AND:
             regs[rd] = regs[rs] & regs[rt]
@@ -215,11 +268,22 @@ def run_program(
         elif op == _XOR:
             regs[rd] = regs[rs] ^ regs[rt]
         elif op == _SLL:
+            if cycles - 1 > max_cycles:
+                raise MachineTrap("cycle budget exceeded")
             sh = regs[rt]
             if sh < 0 or sh > 63:
                 raise MachineTrap(f"shift amount {sh} out of range")
             regs[rd] = regs[rs] << sh
-        elif op == _SRL or op == _SRA:
+        elif op == _SRL:
+            if cycles - 1 > max_cycles:
+                raise MachineTrap("cycle budget exceeded")
+            sh = regs[rt]
+            if sh < 0 or sh > 63:
+                raise MachineTrap(f"shift amount {sh} out of range")
+            regs[rd] = srl(regs[rs], sh)
+        elif op == _SRA:
+            if cycles - 1 > max_cycles:
+                raise MachineTrap("cycle budget exceeded")
             sh = regs[rt]
             if sh < 0 or sh > 63:
                 raise MachineTrap(f"shift amount {sh} out of range")
@@ -231,13 +295,12 @@ def run_program(
         elif op == _PRINT:
             output.append(regs[rs])
         elif op == _HALT:
+            if cycles - 1 > max_cycles:
+                raise MachineTrap("cycle budget exceeded")
             break
         else:  # pragma: no cover - exhaustive
             raise MachineTrap(f"unknown opcode number {op}")
 
-        regs[0] = 0  # $zero is hardwired
-        if cycles > max_cycles:
-            raise MachineTrap("cycle budget exceeded")
         pc = npc
 
     stats.cycles = cycles

@@ -50,6 +50,40 @@ class Opcode(enum.Enum):
     HALT = "halt"
 
 
+# ---------------------------------------------------------------------------
+# Word-width semantics.
+#
+# MiniC values are unbounded Python ints (see ``repro.ir.arith``): the
+# paper's metrics are width-independent, and unbounded ints keep the
+# simulators fast.  The one opcode whose meaning *requires* a finite
+# word is SRL -- a logical right shift is defined by the zero bits it
+# shifts in at the top of the word.  We fix the word at 64 bits: SRL
+# masks its operand to the word, shifts zeros in, and re-signs the
+# result, while SRA stays an arithmetic shift of the unbounded value.
+# ---------------------------------------------------------------------------
+
+WORD_BITS = 64
+WORD_MASK = (1 << WORD_BITS) - 1
+_SIGN_BIT = 1 << (WORD_BITS - 1)
+
+
+def to_signed(value: int) -> int:
+    """Reinterpret the low ``WORD_BITS`` bits as a two's-complement int."""
+    value &= WORD_MASK
+    return value - (1 << WORD_BITS) if value & _SIGN_BIT else value
+
+
+def srl(value: int, amount: int) -> int:
+    """Logical right shift on the 64-bit word.
+
+    The operand is truncated to the word, zeros shift in at bit 63, and
+    the result is re-signed (only ``amount == 0`` can leave the sign bit
+    set).  Contrast SRA, which is ``value >> amount`` on the unbounded
+    int and therefore shifts copies of the sign in.
+    """
+    return to_signed((value & WORD_MASK) >> amount)
+
+
 class MemKind(enum.Enum):
     """Why a load/store exists -- drives the paper's traffic breakdown."""
 

@@ -7,6 +7,7 @@ from repro.benchsuite.harness import (
     format_table1,
     format_table2,
     run_benchmark,
+    run_suite,
 )
 from repro.benchsuite.registry import Benchmark
 
@@ -65,3 +66,18 @@ def test_output_divergence_detected():
     # sanity check the equivalence assertion: identical program cannot
     # diverge, so run_benchmark returns normally
     run_benchmark(TINY, ("A",), check_contracts=True)
+
+
+def test_sim_tier_does_not_change_results(result):
+    jit = run_benchmark(TINY, ("A", "B", "C", "D", "E"), sim_tier="jit")
+    assert jit.stats == result.stats
+
+
+def test_parallel_suite_matches_serial():
+    serial = run_suite(("A",), names=["nim", "map"], sim_tier="interp")
+    parallel = run_suite(
+        ("A",), names=["nim", "map"], sim_tier="jit", jobs=2
+    )
+    assert [r.benchmark.name for r in parallel] == ["nim", "map"]
+    for s, p in zip(serial, parallel):
+        assert s.stats == p.stats

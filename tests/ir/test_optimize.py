@@ -46,6 +46,13 @@ def test_folding_preserves_divide_by_zero_trap():
     assert any(isinstance(i, Bin) and i.op == "/" for i in instrs(fn))
 
 
+def test_folding_preserves_out_of_range_shift_trap():
+    fn = opt_fn("func f() { var b = 0 - 1; return 1 << b; }")
+    assert any(isinstance(i, Bin) and i.op == "<<" for i in instrs(fn))
+    fn = opt_fn("func f() { var b = 64; return 1 >> b; }")
+    assert any(isinstance(i, Bin) and i.op == ">>" for i in instrs(fn))
+
+
 def test_algebraic_identities():
     fn = opt_fn("func f(x) { return (x + 0) * 1; }")
     assert not any(isinstance(i, Bin) for i in instrs(fn))

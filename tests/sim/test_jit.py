@@ -1,0 +1,263 @@
+"""Block-translating tier tests: tier identity, traps, the sim_tier
+knob, translation caching, and word-width shift semantics."""
+
+import pytest
+
+from repro.ir.arith import MachineTrap
+from repro.pipeline import compile_program, O2, O3_SW
+from repro.pipeline.linker import Executable
+from repro.pipeline.profile import block_profile_of
+from repro.sim import run_jit, run_program, simulate, SIM_TIERS
+from repro.sim.jit import JitProgram
+from repro.target.isa import Instr, Opcode
+from repro.target.registers import ALL_REGISTERS
+
+T0 = ALL_REGISTERS[9]
+T1 = ALL_REGISTERS[10]
+T2 = ALL_REGISTERS[11]
+
+
+def exe_of(*instrs) -> Executable:
+    return Executable(instrs=list(instrs), entry_pc=0)
+
+
+def both_tiers(exe, **kwargs):
+    a = simulate(exe, sim_tier="interp", **kwargs)
+    b = simulate(exe, sim_tier="jit", **kwargs)
+    assert a == b
+    return a
+
+
+def both_tiers_trap(exe, **kwargs):
+    """Both tiers must trap, with the identical message."""
+    with pytest.raises(MachineTrap) as interp:
+        simulate(exe, sim_tier="interp", **kwargs)
+    with pytest.raises(MachineTrap) as jit:
+        simulate(exe, sim_tier="jit", **kwargs)
+    assert str(interp.value) == str(jit.value)
+    return str(interp.value)
+
+
+# -- identity on compiled programs ------------------------------------------
+
+FIB = """
+func fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+func main() { print fib(12); }
+"""
+
+LOOPS = """
+var g = 0;
+array data[8];
+func work(a, b) { g = g + a * b; data[a & 7] = g; return data[a & 7] % 97; }
+func main() {
+    var i; var acc = 0;
+    for (i = 0; i < 50; i = i + 1) { acc = acc + work(i, i + 3); }
+    print acc; print g;
+}
+"""
+
+
+@pytest.mark.parametrize("src", [FIB, LOOPS], ids=["fib", "loops"])
+def test_tiers_bit_identical(src):
+    for options in (O2, O3_SW):
+        exe = compile_program(src, options).executable
+        both_tiers(exe)
+
+
+def test_run_stats_fields_match_in_detail():
+    exe = compile_program(LOOPS, O3_SW).executable
+    a = simulate(exe, sim_tier="interp")
+    b = simulate(exe, sim_tier="jit")
+    assert (a.cycles, a.instructions, a.calls, a.branches) == (
+        b.cycles, b.instructions, b.calls, b.branches
+    )
+    assert a.loads == b.loads and a.stores == b.stores
+    assert a.output == b.output
+
+
+# -- identical trap behaviour -----------------------------------------------
+
+def test_divide_by_zero_trap_identical():
+    exe = compile_program(
+        "var d = 0; func main() { print 1 / d; }", O2
+    ).executable
+    msg = both_tiers_trap(exe)
+    assert "zero" in msg
+
+
+def test_rem_by_zero_trap_identical():
+    exe = compile_program(
+        "var d = 0; func main() { print 1 % d; }", O2
+    ).executable
+    both_tiers_trap(exe)
+
+
+def test_bad_load_address_trap_identical():
+    exe = exe_of(
+        Instr(op=Opcode.LI, rd=T0, imm=-5),
+        Instr(op=Opcode.LW, rd=T1, rs=T0, imm=0),
+        Instr(op=Opcode.HALT),
+    )
+    msg = both_tiers_trap(exe)
+    assert msg == "bad load address -5 at pc=1"
+
+
+def test_bad_store_address_trap_identical():
+    exe = exe_of(
+        Instr(op=Opcode.LI, rd=T0, imm=10 ** 9),
+        Instr(op=Opcode.SW, rs=T1, rt=T0, imm=0),
+        Instr(op=Opcode.HALT),
+    )
+    msg = both_tiers_trap(exe, stack_words=16)
+    assert msg.startswith("bad store address")
+
+
+def test_shift_range_trap_identical():
+    exe = exe_of(
+        Instr(op=Opcode.LI, rd=T0, imm=1),
+        Instr(op=Opcode.LI, rd=T1, imm=64),
+        Instr(op=Opcode.SLL, rd=T2, rs=T0, rt=T1),
+        Instr(op=Opcode.HALT),
+    )
+    msg = both_tiers_trap(exe)
+    assert msg == "shift amount 64 out of range"
+
+
+def test_budget_trap_identical():
+    exe = compile_program(
+        "func main() { var i; for (i = 0; i < 1000; i = i + 1) {} }", O2
+    ).executable
+    msg = both_tiers_trap(exe, max_cycles=50)
+    assert msg == "cycle budget exceeded"
+
+
+def test_pc_outside_code_trap_identical():
+    # JR to a pc past the end of the image
+    exe = exe_of(
+        Instr(op=Opcode.LI, rd=T0, imm=99),
+        Instr(op=Opcode.JR, rs=T0),
+        Instr(op=Opcode.HALT),
+    )
+    msg = both_tiers_trap(exe)
+    assert msg == "pc 99 outside code"
+
+
+def test_halt_latency_is_never_budget_checked():
+    # LI (1 cycle) + HALT (1 cycle) = 2 cycles, but the interpreter has
+    # never charged HALT against the budget: max_cycles=1 must complete
+    exe = exe_of(Instr(op=Opcode.LI, rd=T0, imm=1), Instr(op=Opcode.HALT))
+    stats = both_tiers(exe, max_cycles=1)
+    assert stats.cycles == 2
+    both_tiers_trap(exe, max_cycles=0)
+
+
+# -- word-width shift semantics (SRL vs SRA) --------------------------------
+
+def shift_exe(op, value, amount):
+    return exe_of(
+        Instr(op=Opcode.LI, rd=T0, imm=value),
+        Instr(op=Opcode.LI, rd=T1, imm=amount),
+        Instr(op=op, rd=T2, rs=T0, rt=T1),
+        Instr(op=Opcode.PRINT, rs=T2),
+        Instr(op=Opcode.HALT),
+    )
+
+
+@pytest.mark.parametrize("op,value,amount,expected", [
+    # SRL is logical on the 64-bit word: zeros shift in at the top
+    (Opcode.SRL, -8, 1, (1 << 63) - 4),
+    (Opcode.SRL, -1, 60, 15),
+    (Opcode.SRL, -8, 0, -8),       # no shift: the word re-signs to itself
+    (Opcode.SRL, 80, 2, 20),       # non-negative: same as arithmetic
+    # SRA is arithmetic: copies of the sign shift in
+    (Opcode.SRA, -8, 1, -4),
+    (Opcode.SRA, -1, 60, -1),
+    (Opcode.SRA, 80, 2, 20),
+])
+def test_shift_semantics(op, value, amount, expected):
+    stats = both_tiers(shift_exe(op, value, amount))
+    assert stats.output == [expected]
+
+
+# -- the sim_tier knob ------------------------------------------------------
+
+def test_sim_tiers_tuple():
+    assert SIM_TIERS == ("auto", "interp", "jit")
+
+
+def test_unknown_tier_rejected():
+    exe = compile_program("func main() {}", O2).executable
+    with pytest.raises(ValueError, match="unknown sim_tier"):
+        simulate(exe, sim_tier="turbo")
+
+
+def test_jit_tier_rejects_interpreter_features():
+    exe = compile_program("func main() {}", O2).executable
+    with pytest.raises(ValueError, match="check_contracts"):
+        simulate(exe, sim_tier="jit", check_contracts=True)
+    with pytest.raises(ValueError, match="block_counts"):
+        simulate(exe, sim_tier="jit", block_counts={})
+
+
+def test_auto_tier_falls_back_for_contracts():
+    prog = compile_program(FIB, O3_SW)
+    checked = prog.run(check_contracts=True)       # auto -> interpreter
+    assert checked == prog.run(sim_tier="jit")
+
+
+def test_auto_tier_falls_back_for_profiling():
+    prog = compile_program(LOOPS, O2)
+    profile = block_profile_of(prog)
+    assert profile["work"]  # the interpreter path still collects counts
+
+
+def test_compiled_program_run_accepts_sim_tier():
+    prog = compile_program(FIB, O2)
+    assert prog.run(sim_tier="interp") == prog.run(sim_tier="jit")
+
+
+# -- translation caching and dynamic targets --------------------------------
+
+def test_translation_cached_on_executable():
+    exe = compile_program(FIB, O2).executable
+    run_jit(exe)
+    cache = exe._jit_cache
+    assert len(cache) == 1
+    prog = next(iter(cache.values()))
+    assert isinstance(prog, JitProgram)
+    run_jit(exe)
+    assert next(iter(exe._jit_cache.values())) is prog
+    # a different budget bakes different literals: separate translation
+    run_jit(exe, max_cycles=10 ** 7)
+    assert len(exe._jit_cache) == 2
+
+
+def test_jr_into_mid_block_translates_on_demand():
+    # pc 4 is no leader (only HALT fall-through pc 3 is); the dynamic
+    # jump forces on-demand translation mid-run
+    exe = exe_of(
+        Instr(op=Opcode.LI, rd=T0, imm=4),
+        Instr(op=Opcode.JR, rs=T0),
+        Instr(op=Opcode.HALT),
+        Instr(op=Opcode.LI, rd=T1, imm=6),
+        Instr(op=Opcode.PRINT, rs=T1),
+        Instr(op=Opcode.HALT),
+    )
+    stats = both_tiers(exe)
+    assert stats.output == [0]  # pc 3 was skipped, so t1 is still 0
+
+
+def test_writes_to_zero_register_are_discarded():
+    zero = ALL_REGISTERS[0]
+    exe = exe_of(
+        Instr(op=Opcode.LI, rd=zero, imm=123),
+        Instr(op=Opcode.PRINT, rs=zero),
+        Instr(op=Opcode.HALT),
+    )
+    stats = both_tiers(exe)
+    assert stats.output == [0]
+
+
+def test_interpreter_oracle_still_importable_directly():
+    exe = compile_program(FIB, O2).executable
+    assert run_program(exe) == run_jit(exe)
