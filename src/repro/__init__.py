@@ -23,7 +23,14 @@ redoes the slice of the call graph an edit (or option flip) actually
 invalidates, producing bit-identical executables either way.
 """
 
-from repro.engine import Compiler, Engine, EngineStats
+from repro.engine import (
+    Compiler,
+    CompileReport,
+    DegradationRecord,
+    Engine,
+    EngineStats,
+    ResiliencePolicy,
+)
 from repro.frontend.errors import OptionsError
 from repro.pipeline import (
     CompiledModule,
@@ -60,9 +67,12 @@ __all__ = [
     "CompiledModule",
     "CompiledProgram",
     "CompilerOptions",
+    "CompileReport",
+    "DegradationRecord",
     "Engine",
     "EngineStats",
     "OptionsError",
+    "ResiliencePolicy",
     "compile_and_run",
     "compile_module",
     "compile_program",

@@ -23,6 +23,29 @@ from repro.cfg.cfg import CFG
 T = TypeVar("T")
 
 
+class ConvergenceError(RuntimeError):
+    """An iterative solver exhausted its iteration budget.
+
+    Raised instead of looping forever when a fixed point is not reached
+    -- for the dataflow solver that means a non-monotone problem
+    specification, for shrink-wrapping a range extension that keeps
+    oscillating.  The message carries the solver name, the budget spent
+    and any extra diagnostic so the failure is actionable rather than a
+    silent hang.
+    """
+
+    def __init__(self, solver: str, iterations: int, detail: str = ""):
+        self.solver = solver
+        self.iterations = iterations
+        self.detail = detail
+        message = (
+            f"{solver} failed to converge after {iterations} iterations"
+        )
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
 @dataclass
 class DataflowProblem(Generic[T]):
     """Specification of an iterative dataflow problem.
@@ -69,6 +92,7 @@ def solve(cfg: CFG, problem: DataflowProblem[T]) -> Tuple[List[T], List[T]]:
     # Monotone transfers over a finite lattice terminate; the cap only
     # guards against a non-monotone problem specification.
     budget = (4 * n + 8) * max(n, 1) + len(order)
+    spent = budget
 
     if problem.forward:
         preds, succs = cfg.preds, cfg.succs
@@ -76,7 +100,10 @@ def solve(cfg: CFG, problem: DataflowProblem[T]) -> Tuple[List[T], List[T]]:
         while work:
             budget -= 1
             if budget < 0:  # pragma: no cover - safety net
-                raise RuntimeError("dataflow failed to converge")
+                raise ConvergenceError(
+                    "dataflow (forward)", spent,
+                    f"{n} blocks; non-monotone transfer?",
+                )
             b = work.popleft()
             on_list[b] = False
             if b == entry:
@@ -98,7 +125,10 @@ def solve(cfg: CFG, problem: DataflowProblem[T]) -> Tuple[List[T], List[T]]:
         while work:
             budget -= 1
             if budget < 0:  # pragma: no cover - safety net
-                raise RuntimeError("dataflow failed to converge")
+                raise ConvergenceError(
+                    "dataflow (backward)", spent,
+                    f"{n} blocks; non-monotone transfer?",
+                )
             b = work.popleft()
             on_list[b] = False
             if b in exits and not succs[b]:

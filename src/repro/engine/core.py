@@ -25,18 +25,43 @@ Planning runs level-by-level over the call graph's SCC condensation
 (:mod:`repro.engine.scheduler`); the plan-key model makes each level's
 procedures independent, so the levels may run on a thread pool without
 affecting output.
+
+The plan and codegen caches are :class:`GuardedCache` instances: every
+entry carries a content checksum recomputed on lookup, so a corrupted
+entry (bit rot, or an injected ``corrupt`` fault) is detected,
+invalidated and recomputed instead of silently miscompiling.
+
+A **resilient** engine (``Engine(..., resilient=True)``) additionally
+wraps per-procedure planning and codegen in a fault boundary: a failure
+demotes that procedure to the *open* classification -- Chow's own
+safety valve for procedures that cannot be fully analysed -- and
+recompiles it with the default linkage convention down the ladder in
+:mod:`repro.engine.resilience`.  Callers then see the callee-saved
+barrier summary of an open procedure, so the program stays sound,
+merely conservative, and the session stays usable; each demotion is
+recorded in the compile's :class:`CompileReport`.  The fault-free path
+is bit-identical to a non-resilient compile.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace as _options_replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import faults
 from repro.engine.frontend import FrontendCache
 from repro.engine.invalidation import (
     PlanKey,
     count_changed,
     effective_summaries,
     plan_key,
+)
+from repro.engine.resilience import (
+    CompileReport,
+    FALLBACK_TAGS,
+    GuardedCache,
+    MAX_DEMOTION_LEVEL,
+    ResiliencePolicy,
 )
 from repro.engine.scheduler import default_workers, run_levels, scc_levels
 from repro.engine.stats import CompileRecord, EngineStats
@@ -61,6 +86,11 @@ from repro.pipeline.linker import ObjectCode, link_executable, link_ir_modules
 from repro.pipeline.options import CompilerOptions, O2, validate_options
 from repro.target.codegen import generate_function
 from repro.target.isa import AsmFunction
+from repro.target.registers import RegisterFile
+
+#: first element of the plan key of a demoted procedure; demoted keys are
+#: never stored in the clean caches, only used to re-key dependants
+_DEMOTED = "__demoted__"
 
 
 def normalize_sources(
@@ -78,23 +108,110 @@ def normalize_sources(
     return named
 
 
+# -- cache content checksums -------------------------------------------------
+
+def _plan_fingerprint(plan: FnPlan) -> Tuple:
+    """Cheap content checksum over the fields downstream stages consume."""
+    s = plan.summary
+    return (
+        plan.name,
+        plan.mode,
+        plan.saved_mask,
+        tuple(sorted(plan.wrapped)),
+        tuple(r.index for r in plan.entry_exit_saves),
+        tuple(
+            (p.pos, None if p.reg is None else p.reg.index, p.dead)
+            for p in plan.incoming_params
+        ),
+        None if s is None else (s.closed, s.used_mask, s.saved_locally_mask),
+    )
+
+
+def _codegen_fingerprint(entry: Tuple[AsmFunction, int]) -> Tuple:
+    asm, preserved = entry
+    instrs = asm.instrs
+    return (
+        asm.name,
+        len(instrs),
+        preserved,
+        instrs[0].render() if instrs else None,
+        instrs[-1].render() if instrs else None,
+    )
+
+
+# -- the open-demotion ladder ------------------------------------------------
+
+def _demoted_options(popts: PlanOptions, level: int) -> PlanOptions:
+    """Plan options for demotion rung ``level`` (see resilience module)."""
+    if level <= 1:
+        return popts
+    if level == 2:
+        return _options_replace(popts, shrink_wrap=False)
+    return _options_replace(
+        popts, shrink_wrap=False, register_file=RegisterFile(())
+    )
+
+
+def _plan_demoted(fn, popts, eff, arities, level: int) -> FnPlan:
+    """Plan ``fn`` as an open procedure at demotion rung ``level``.
+
+    ``eff`` keeps the true summaries of closed callees in view: even a
+    demoted procedure must act as a save barrier for the callee-saved
+    registers its closed subtree clobbers -- the demotion is
+    conservative, never unsound.
+    """
+    return plan_function(
+        fn, _demoted_options(popts, level), eff, arities, is_open=True
+    )
+
+
+def _first_rung(popts: PlanOptions, is_open: bool, mode: str = "") -> int:
+    """Rung 1 (replan as open) only helps procedures that were closed;
+    anything already open (or intra) starts at rung 2."""
+    if mode:
+        return 1 if mode == "closed" else 2
+    return 1 if (popts.ipra and not is_open) else 2
+
+
+class _DemoteAtCodegen(Exception):
+    """Internal: codegen failed for a procedure; replan it demoted."""
+
+    def __init__(self, name: str, level: int):
+        self.name = name
+        self.level = level
+        super().__init__(f"demote {name} to rung {level}")
+
+
 class Engine:
-    """Summary-keyed incremental compiler, one instance per session."""
+    """Summary-keyed incremental compiler, one instance per session.
+
+    ``resilient=True`` arms the per-procedure fault boundary (failures
+    demote to the open convention instead of aborting the session) and
+    the worker watchdogs configured by ``policy``.
+    """
 
     def __init__(
         self,
         options: CompilerOptions = O2,
         max_workers: Optional[int] = None,
+        resilient: bool = False,
+        policy: Optional[ResiliencePolicy] = None,
     ):
         self.options = validate_options(options)
         self.max_workers = (
             default_workers() if max_workers is None else max_workers
         )
+        self.resilient = bool(resilient)
+        self.policy = (
+            policy if policy is not None
+            else (ResiliencePolicy() if resilient else None)
+        )
         self.stats = EngineStats()
         self._frontend = FrontendCache()
-        self._plans: Dict[PlanKey, FnPlan] = {}
-        self._codegen: Dict[Tuple, Tuple[AsmFunction, int]] = {}
+        self._plans: GuardedCache = GuardedCache(_plan_fingerprint)
+        self._codegen: GuardedCache = GuardedCache(_codegen_fingerprint)
         self._last_keys: Optional[Dict[str, PlanKey]] = None
+        self._corruptions_reported = 0
 
     # -- public API ---------------------------------------------------------
 
@@ -106,6 +223,7 @@ class Engine:
         """Whole-program compile, reusing everything an edit left alone."""
         options = self.options if options is None else validate_options(options)
         record = self.stats.begin("program")
+        report = CompileReport() if self.resilient else None
         with self.stats.timer(record, "frontend"):
             program = self._lower_and_link(
                 normalize_sources(sources), options, record
@@ -117,21 +235,19 @@ class Engine:
             )
 
         popts = _plan_options(options)
-        with self.stats.timer(record, "plan"):
-            plan, keys = self._plan(program, popts, record)
+        plan, keys, obj = self._plan_and_codegen(
+            program, popts, record, report
+        )
         record.invalidated = count_changed(self._last_keys, keys)
         self._last_keys = keys
 
-        with self.stats.timer(record, "codegen"):
-            obj = self._codegen_module(program, plan, keys, record)
         with self.stats.timer(record, "link"):
             exe = link_executable([obj], entry=options.entry)
         record.functions = len(program.functions)
-        record.total_seconds = sum(
-            s.seconds for s in record.stages.values()
-        )
+        self._finish_record(record, report)
         return CompiledProgram(
-            executable=exe, ir=program, plan=plan, options=options
+            executable=exe, ir=program, plan=plan, options=options,
+            report=report,
         )
 
     def compile_module(
@@ -140,6 +256,7 @@ class Engine:
         """Separate compilation of one unit: every procedure open."""
         options = self.options if options is None else validate_options(options)
         record = self.stats.begin("module")
+        report = CompileReport() if self.resilient else None
         ((name, text),) = normalize_sources([source])
         with self.stats.timer(record, "frontend"):
             module = self._frontend.lower_source(
@@ -147,17 +264,28 @@ class Engine:
             )
             self._drain_frontend_counters(record)
         popts = _plan_options(options.with_(externally_visible=True))
-        with self.stats.timer(record, "plan"):
-            plan, keys = self._plan(module, popts, record)
-        with self.stats.timer(record, "codegen"):
-            obj = self._codegen_module(module, plan, keys, record)
-        record.functions = len(module.functions)
-        record.total_seconds = sum(
-            s.seconds for s in record.stages.values()
+        plan, keys, obj = self._plan_and_codegen(
+            module, popts, record, report
         )
+        record.functions = len(module.functions)
+        self._finish_record(record, report)
         return CompiledModule(object_code=obj, ir=module, plan=plan)
 
     # -- internals ----------------------------------------------------------
+
+    def _finish_record(
+        self, record: CompileRecord, report: Optional[CompileReport]
+    ) -> None:
+        total = self._plans.corruptions + self._codegen.corruptions
+        record.cache_corruptions = total - self._corruptions_reported
+        self._corruptions_reported = total
+        if report is not None:
+            report.cache_corruptions += record.cache_corruptions
+            record.degraded = len(report.degradations)
+            record.retries = report.retries
+        record.total_seconds = sum(
+            s.seconds for s in record.stages.values()
+        )
 
     def _drain_frontend_counters(self, record: CompileRecord) -> None:
         fe = self._frontend
@@ -179,14 +307,58 @@ class Engine:
         self._drain_frontend_counters(record)
         return link_ir_modules(modules)
 
+    def _plan_and_codegen(
+        self,
+        program: IRModule,
+        popts: PlanOptions,
+        record: CompileRecord,
+        report: Optional[CompileReport],
+    ) -> Tuple[ProgramPlan, Dict[str, PlanKey], ObjectCode]:
+        """Plan then codegen, restarting planning with forced demotions
+        when a resilient codegen failure requires a procedure to change
+        convention (its callers must re-plan against the open summary).
+
+        Each restart escalates one procedure's demotion rung, so the
+        loop terminates after at most ``functions * rungs`` restarts.
+        """
+        forced: Dict[str, int] = {}
+        for _ in range(MAX_DEMOTION_LEVEL * len(program.functions) + 1):
+            with self.stats.timer(record, "plan"):
+                plan, keys = self._plan(program, popts, record, report, forced)
+            try:
+                with self.stats.timer(record, "codegen"):
+                    obj = self._codegen_module(
+                        program, plan, keys, record, report
+                    )
+            except _DemoteAtCodegen as demote:
+                # plan-stage demotions stick across the restart so the
+                # report and the artifact stay consistent
+                for name, key in keys.items():
+                    if key[0] is _DEMOTED:
+                        forced.setdefault(name, key[2])
+                forced[demote.name] = demote.level
+                continue
+            return plan, keys, obj
+        raise RuntimeError(
+            "resilient compile failed to stabilise demotions"
+        )  # pragma: no cover - loop bound is a safety net
+
     def _plan(
         self,
         program: IRModule,
         popts: PlanOptions,
         record: CompileRecord,
+        report: Optional[CompileReport] = None,
+        forced: Optional[Dict[str, int]] = None,
     ) -> Tuple[ProgramPlan, Dict[str, PlanKey]]:
         """Replicates ``plan_program`` with per-procedure memoisation and
-        a level-parallel schedule."""
+        a level-parallel schedule.
+
+        ``forced`` maps procedure name -> demotion rung for procedures
+        that must be planned open regardless of faults (codegen-stage
+        demotions being replanned).
+        """
+        forced = forced or {}
         result = ProgramPlan(module=program)
         arities = {
             name: len(fn.params) for name, fn in program.functions.items()
@@ -220,25 +392,57 @@ class Engine:
 
         #: closed summaries published as their levels complete
         closed: Dict[str, object] = {}
+        #: procedures demoted this pass (forced, or by the fault
+        #: boundary); their callers see the default summary
+        demoted: Dict[str, int] = dict(forced)
 
         def task(name: str):
             fn = program.functions[name]
             is_open = cg.is_open(name) if cg is not None else True
-            eff = effective_summaries(fn, program, cg, pos, closed)
+            eff = effective_summaries(
+                fn, program, cg, pos, closed, demoted=demoted
+            )
+            level = forced.get(name)
+            if level is not None:
+                plan = _plan_demoted(fn, popts, eff, arities, level)
+                return (_DEMOTED, name, level), plan, False
             allowed = allowed_map.get(name)
             key = plan_key(fn, popts, arities, is_open, eff, allowed)
+            if faults.corrupts(faults.SITE_CACHE_PLAN, name):
+                self._plans.corrupt(key)
             plan = self._plans.get(key)
             hit = plan is not None
             if not hit:
-                plan = plan_function(
-                    fn, popts, eff, arities, is_open, allowed_globals=allowed
-                )
-                self._plans[key] = plan
+                try:
+                    faults.check(faults.SITE_PLAN, name)
+                    plan = plan_function(
+                        fn, popts, eff, arities, is_open,
+                        allowed_globals=allowed,
+                    )
+                except Exception as exc:
+                    if report is None:
+                        raise
+                    plan, level = self._demote(
+                        fn, popts, eff, arities, is_open, exc, report
+                    )
+                    demoted[name] = level
+                    return (_DEMOTED, name, level), plan, False
+                self._plans.put(key, plan)
             if plan.summary is not None and plan.summary.closed:
                 closed[name] = plan.summary
             return key, plan, hit
 
-        outcomes = run_levels(levels, task, self.max_workers)
+        def on_retry(name: str) -> None:
+            if report is not None:
+                report.retries += 1
+
+        outcomes = run_levels(
+            levels,
+            task,
+            self.max_workers,
+            policy=self.policy if self.resilient else None,
+            on_retry=on_retry,
+        )
 
         keys: Dict[str, PlanKey] = {}
         stage = record.stages["plan"]
@@ -254,12 +458,28 @@ class Engine:
                 stage.misses += 1
         return result, keys
 
+    def _demote(
+        self, fn, popts, eff, arities, is_open, exc, report
+    ) -> Tuple[FnPlan, int]:
+        """Walk the demotion ladder after a planning failure; returns the
+        first plan that compiles, or re-raises the original error when
+        even the reference convention cannot be planned."""
+        for level in range(_first_rung(popts, is_open), MAX_DEMOTION_LEVEL + 1):
+            try:
+                plan = _plan_demoted(fn, popts, eff, arities, level)
+            except Exception:
+                continue
+            report.record(fn.name, "plan", exc, FALLBACK_TAGS[level])
+            return plan, level
+        raise exc
+
     def _codegen_module(
         self,
         program: IRModule,
         plan: ProgramPlan,
         keys: Dict[str, PlanKey],
         record: CompileRecord,
+        report: Optional[CompileReport] = None,
     ) -> ObjectCode:
         arrays_fp = tuple(sorted(program.arrays.items()))
         obj = ObjectCode(
@@ -267,17 +487,45 @@ class Engine:
         )
         stage = record.stages["codegen"]
         for name in program.functions:
-            ckey = (keys[name], arrays_fp)
-            cached = self._codegen.get(ckey)
+            fnplan = plan.plans[name]
+            key = keys[name]
+            demoted_level = key[2] if key[0] is _DEMOTED else 0
+            if demoted_level:
+                # demoted artifacts are never cached: a transient fault
+                # must not poison the session caches
+                stage.misses += 1
+                cached = None
+            else:
+                ckey = (key, arrays_fp)
+                if faults.corrupts(faults.SITE_CACHE_CODEGEN, name):
+                    self._codegen.corrupt(ckey)
+                cached = self._codegen.get(ckey)
             if cached is not None:
                 stage.hits += 1
                 asm, preserved = cached
             else:
-                stage.misses += 1
-                fnplan = plan.plans[name]
-                asm = generate_function(fnplan, program.arrays)
+                if not demoted_level:
+                    stage.misses += 1
+                try:
+                    faults.check(faults.SITE_CODEGEN, name)
+                    asm = generate_function(fnplan, program.arrays)
+                except Exception as exc:
+                    if report is None:
+                        raise
+                    next_level = max(
+                        demoted_level + 1,
+                        _first_rung(popts=None, is_open=True,
+                                    mode=fnplan.mode),
+                    ) if not demoted_level else demoted_level + 1
+                    if next_level > MAX_DEMOTION_LEVEL:
+                        raise
+                    report.record(
+                        name, "codegen", exc, FALLBACK_TAGS[next_level]
+                    )
+                    raise _DemoteAtCodegen(name, next_level) from exc
                 preserved = _preserved_mask(fnplan)
-                self._codegen[ckey] = (asm, preserved)
+                if not demoted_level:
+                    self._codegen.put(ckey, (asm, preserved))
             obj.functions[name] = asm
             obj.preserved_masks[name] = preserved
         return obj

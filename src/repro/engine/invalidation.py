@@ -25,7 +25,7 @@ level-parallel schedule bit-identical to the sequential pass.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Sequence, Set, Tuple
+from typing import Container, Dict, FrozenSet, Optional, Sequence, Set, Tuple
 
 from repro.engine.fingerprint import (
     function_fingerprint,
@@ -47,10 +47,18 @@ def effective_summaries(
     cg: Optional[CallGraph],
     pos: Dict[str, int],
     closed_summaries: Dict[str, ProcSummary],
+    demoted: Optional[Container[str]] = None,
 ) -> Dict[str, ProcSummary]:
     """The summaries ``plan_program`` would have accumulated by the time
     it reaches ``fn``, restricted to ``fn``'s direct callees (the only
-    entries :func:`plan_function` ever reads)."""
+    entries :func:`plan_function` ever reads).
+
+    ``demoted`` names procedures a resilient compile has demoted to the
+    open convention (see :mod:`repro.engine.resilience`): they publish
+    no closed summary, so callers see the default one -- which also
+    re-keys every ancestor's plan, keeping demotion out of the clean
+    caches.
+    """
     eff: Dict[str, ProcSummary] = {}
     if cg is None:
         return eff
@@ -59,7 +67,7 @@ def effective_summaries(
         target = module.functions.get(callee)
         if target is None or pos[callee] >= my_pos:
             continue  # extern, or not yet planned in sequential order
-        if cg.is_open(callee):
+        if cg.is_open(callee) or (demoted is not None and callee in demoted):
             eff[callee] = default_summary(callee, len(target.params))
         else:
             eff[callee] = closed_summaries[callee]

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.engine.core import Engine, normalize_sources
+from repro.engine.resilience import ResiliencePolicy
 from repro.engine.stats import EngineStats
 from repro.frontend.errors import OptionsError
 from repro.pipeline.driver import (
@@ -42,14 +43,26 @@ class Compiler:
         Compiler(options).compile_module(source)           # compile_module
         Compiler().link(modules, entry="main")             # link_modules
         Compiler(options).add_sources(sources).run()       # compile_and_run
+
+    ``resilient=True`` arms the engine's per-procedure fault boundary:
+    a procedure whose planning or codegen fails is demoted to the open
+    classification (default linkage convention) instead of aborting the
+    session, and ``compile().report.degradations`` lists what happened
+    (see :mod:`repro.engine.resilience`).  ``policy`` tunes the worker
+    watchdogs.  The fault-free path is bit-identical either way.
     """
 
     def __init__(
         self,
         options: CompilerOptions = O2,
         max_workers: Optional[int] = None,
+        resilient: bool = False,
+        policy: Optional[ResiliencePolicy] = None,
     ):
-        self._engine = Engine(options, max_workers=max_workers)
+        self._engine = Engine(
+            options, max_workers=max_workers,
+            resilient=resilient, policy=policy,
+        )
         self._sources: List[Tuple[str, str]] = []
 
     # -- configuration ------------------------------------------------------

@@ -61,6 +61,10 @@ class CompileRecord:
     #: procedures whose plan key changed since the previous compile
     invalidated: int = 0
     total_seconds: float = 0.0
+    #: resilience counters (see :mod:`repro.engine.resilience`)
+    degraded: int = 0            # procedures demoted to the open convention
+    retries: int = 0             # planner tasks re-run after worker faults
+    cache_corruptions: int = 0   # cache entries detected corrupt and redone
 
     def to_dict(self) -> Dict:
         return {
@@ -68,6 +72,9 @@ class CompileRecord:
             "functions": self.functions,
             "invalidated": self.invalidated,
             "total_seconds": round(self.total_seconds, 6),
+            "degraded": self.degraded,
+            "retries": self.retries,
+            "cache_corruptions": self.cache_corruptions,
             "stages": {k: v.to_dict() for k, v in self.stages.items()},
         }
 
@@ -115,11 +122,23 @@ class EngineStats:
     def cascade_sizes(self) -> List[int]:
         return [r.invalidated for r in self.records if r.kind == "program"]
 
+    def fault_totals(self) -> Dict[str, int]:
+        """Session-wide resilience counters (suite reports surface these
+        as per-run fault totals)."""
+        return {
+            "degraded": sum(r.degraded for r in self.records),
+            "retries": sum(r.retries for r in self.records),
+            "cache_corruptions": sum(
+                r.cache_corruptions for r in self.records
+            ),
+        }
+
     def to_dict(self) -> Dict:
         return {
             "compiles": self.compiles,
             "stages": {k: v.to_dict() for k, v in self.stage_totals().items()},
             "invalidation_cascades": self.cascade_sizes(),
+            "faults": self.fault_totals(),
             "records": [r.to_dict() for r in self.records],
         }
 

@@ -1,0 +1,301 @@
+"""Deterministic fault injection -- the reproduction's chaos harness.
+
+A :class:`FaultPlan` is an explicit, seedable list of faults to inject
+at named *sites* threaded through the toolchain (planning, coloring,
+shrink-wrapping, codegen, cache lookups, pool workers, JIT
+translation, suite workers).  Components consult the harness with
+
+    faults.check(SITE_COLORING, fn.name)
+
+which is a no-op unless a plan is installed and an armed spec matches;
+matching specs fire deterministically, so a test can assert both *that*
+a fault fired and *how* the system recovered.  Four fault kinds model
+the failure modes the resilience layer must absorb:
+
+``raise``
+    the site raises :class:`InjectedFault` (a crashed stage);
+``hang``
+    the site sleeps ``hang_seconds`` (a stuck stage or worker -- pair
+    with the watchdog timeouts to exercise the timeout/retry path);
+``corrupt``
+    a cache site bit-rots a stored entry (consumed via
+    :func:`corrupts`; the checksummed caches must detect and retry);
+``kill``
+    a pool *worker process* dies with ``os._exit`` (the parent sees a
+    ``BrokenProcessPool``).  Outside a worker process the kind is a
+    no-op: there is no worker to kill, and exiting the host process
+    would defeat the point of injecting recoverable faults.
+
+Faults are consumed when they fire (``count`` decrements under a
+lock), so a transient failure followed by a clean retry is the default
+story.  Plans pickle cleanly -- :func:`repro.benchsuite.harness.run_suite`
+ships them into worker processes -- but each pickled copy carries its
+own counters; cross-process specs should therefore pin a ``match`` key
+so the same cell fires on every attempt regardless of which copy it
+hits.
+
+The module imports nothing from the rest of ``repro`` so that any
+layer, however deep, may call into it without import cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ALL_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "active",
+    "check",
+    "clear",
+    "corrupts",
+    "current_plan",
+    "install",
+    "worker_context",
+    "SITE_CACHE_CODEGEN",
+    "SITE_CACHE_PLAN",
+    "SITE_CODEGEN",
+    "SITE_COLORING",
+    "SITE_JIT",
+    "SITE_PLAN",
+    "SITE_SHRINKWRAP",
+    "SITE_SUITE_WORKER",
+    "SITE_WORKER",
+]
+
+# -- site registry -----------------------------------------------------------
+
+SITE_PLAN = "plan"                   # engine/core: per-procedure planning
+SITE_CODEGEN = "codegen"             # engine/core: per-procedure codegen
+SITE_CACHE_PLAN = "cache-plan"       # engine/core: plan cache entries
+SITE_CACHE_CODEGEN = "cache-codegen"  # engine/core: codegen cache entries
+SITE_COLORING = "coloring"           # regalloc/coloring: allocate_function
+SITE_SHRINKWRAP = "shrinkwrap"       # shrinkwrap/placement: shrink_wrap
+SITE_WORKER = "worker"               # engine/scheduler: planner pool task
+SITE_JIT = "jit"                     # sim/jit: superblock translation
+SITE_SUITE_WORKER = "suite-worker"   # benchsuite/harness: suite pool cell
+
+ALL_SITES: Tuple[str, ...] = (
+    SITE_PLAN,
+    SITE_CODEGEN,
+    SITE_CACHE_PLAN,
+    SITE_CACHE_CODEGEN,
+    SITE_COLORING,
+    SITE_SHRINKWRAP,
+    SITE_WORKER,
+    SITE_JIT,
+    SITE_SUITE_WORKER,
+)
+
+KINDS = ("raise", "hang", "corrupt", "kill")
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a ``raise``-kind fault spec when its site is reached."""
+
+    def __init__(self, site: str, key: Optional[str]):
+        self.site = site
+        self.key = key
+        super().__init__(f"injected fault at site {site!r} (key={key!r})")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject.
+
+    ``match`` restricts the spec to site consultations whose key equals
+    it (``None`` matches any key); ``count`` is how many times the spec
+    may fire (``None`` = unlimited).
+    """
+
+    site: str
+    kind: str = "raise"
+    match: Optional[str] = None
+    count: Optional[int] = 1
+    hang_seconds: float = 2.0
+
+    def __post_init__(self):
+        if self.site not in ALL_SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; expected one of "
+                f"{ALL_SITES}"
+            )
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}"
+            )
+
+
+class FaultPlan:
+    """A deterministic set of faults plus firing bookkeeping.
+
+    ``fired`` records ``(site, key, kind)`` for every fault that fired,
+    in firing order, so tests can assert exactly which faults landed.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = (), seed: int = 0):
+        self.specs: List[FaultSpec] = list(specs)
+        self.seed = seed
+        self.fired: List[Tuple[str, Optional[str], str]] = []
+        self._remaining: List[Optional[int]] = [s.count for s in self.specs]
+        self._lock = threading.Lock()
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        sites: Sequence[str] = ALL_SITES,
+        kinds: Sequence[str] = ("raise",),
+        count: Optional[int] = 1,
+    ) -> "FaultPlan":
+        """One fault per site, kinds drawn deterministically from
+        ``seed`` -- the CI chaos configuration."""
+        rng = random.Random(seed)
+        specs = [
+            FaultSpec(site=site, kind=rng.choice(list(kinds)), count=count)
+            for site in sites
+        ]
+        return cls(specs, seed=seed)
+
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        with self._lock:
+            self.specs.append(spec)
+            self._remaining.append(spec.count)
+        return self
+
+    # -- consultation --------------------------------------------------------
+
+    def _take(self, site: str, key: Optional[str], kinds) -> Optional[FaultSpec]:
+        with self._lock:
+            for i, spec in enumerate(self.specs):
+                if spec.site != site or spec.kind not in kinds:
+                    continue
+                if spec.match is not None and spec.match != key:
+                    continue
+                left = self._remaining[i]
+                if left is not None and left <= 0:
+                    continue
+                if left is not None:
+                    self._remaining[i] = left - 1
+                self.fired.append((site, key, spec.kind))
+                return spec
+        return None
+
+    def fire(self, site: str, key: Optional[str]) -> None:
+        spec = self._take(site, key, ("raise", "hang", "kill"))
+        if spec is None:
+            return
+        if spec.kind == "hang":
+            time.sleep(spec.hang_seconds)
+        elif spec.kind == "kill":
+            if _IN_WORKER.flag:
+                os._exit(13)
+            # no worker process to kill: modelled as a no-op
+        else:
+            raise InjectedFault(site, key)
+
+    def wants_corruption(self, site: str, key: Optional[str]) -> bool:
+        return self._take(site, key, ("corrupt",)) is not None
+
+    def fired_sites(self) -> List[str]:
+        return [site for site, _, _ in self.fired]
+
+    # -- pickling (the suite runner ships plans into workers) ----------------
+
+    def __getstate__(self):
+        with self._lock:
+            return {
+                "specs": list(self.specs),
+                "seed": self.seed,
+                "fired": list(self.fired),
+                "_remaining": list(self._remaining),
+            }
+
+    def __setstate__(self, state):
+        self.specs = state["specs"]
+        self.seed = state["seed"]
+        self.fired = state["fired"]
+        self._remaining = state["_remaining"]
+        self._lock = threading.Lock()
+
+    def __repr__(self):
+        return f"FaultPlan(seed={self.seed}, specs={self.specs!r})"
+
+
+# -- the installed plan ------------------------------------------------------
+
+_ACTIVE: Optional[FaultPlan] = None
+
+
+class _WorkerFlag(threading.local):
+    flag = False
+
+
+_IN_WORKER = _WorkerFlag()
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Install ``plan`` process-wide (``None`` uninstalls)."""
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+def clear() -> None:
+    install(None)
+
+
+def current_plan() -> Optional[FaultPlan]:
+    return _ACTIVE
+
+
+class active:
+    """Context manager installing a plan for the ``with`` body."""
+
+    def __init__(self, plan: Optional[FaultPlan]):
+        self._plan = plan
+
+    def __enter__(self) -> Optional[FaultPlan]:
+        self._previous = _ACTIVE
+        install(self._plan)
+        return self._plan
+
+    def __exit__(self, *exc):
+        install(self._previous)
+        return False
+
+
+class worker_context:
+    """Marks the current thread as a pool *worker process* context, which
+    arms ``kill``-kind faults (they ``os._exit``)."""
+
+    def __enter__(self):
+        self._previous = _IN_WORKER.flag
+        _IN_WORKER.flag = True
+        return self
+
+    def __exit__(self, *exc):
+        _IN_WORKER.flag = self._previous
+        return False
+
+
+def check(site: str, key: Optional[str] = None) -> None:
+    """Consult the installed plan at ``site``; no-op without a plan."""
+    if _ACTIVE is not None:
+        _ACTIVE.fire(site, key)
+
+
+def corrupts(site: str, key: Optional[str] = None) -> bool:
+    """True when an armed ``corrupt`` spec matches this cache site; the
+    caller is then responsible for bit-rotting its stored entry."""
+    if _ACTIVE is None:
+        return False
+    return _ACTIVE.wants_corruption(site, key)

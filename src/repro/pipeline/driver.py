@@ -15,7 +15,10 @@ objects are linked afterwards.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with the engine
+    from repro.engine.resilience import CompileReport
 
 from repro.frontend import analyze, parse
 from repro.interproc.allocator import (
@@ -54,12 +57,18 @@ class CompiledProgram:
     ir: IRModule
     plan: ProgramPlan
     options: CompilerOptions
+    #: resilience outcome of the compile; ``None`` unless the program was
+    #: built by a resilient session (``Compiler(resilient=True)``)
+    report: Optional["CompileReport"] = None
 
     def run(self, **kwargs) -> RunStats:
         """Simulate the program; ``sim_tier`` selects the engine
         ("auto" picks the block-translating tier unless contract
         checking or block profiling needs the interpreter)."""
-        return self.executable.run(**kwargs)
+        stats = self.executable.run(**kwargs)
+        if self.report is not None and getattr(stats, "sim_fallback", None):
+            self.report.jit_fallbacks += 1
+        return stats
 
 
 def _parse_sources(sources: Union[Source, Sequence[Source]]) -> List[IRModule]:

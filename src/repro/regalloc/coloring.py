@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Set, Tuple
 
+from repro import faults
 from repro.cfg.cfg import CFG, build_cfg
 from repro.cfg.loops import LoopInfo, find_loops
 from repro.dataflow.liveness import Liveness, compute_liveness
@@ -108,6 +109,7 @@ def allocate_function(
     procedure's (closed) callees -- the registers already used in the
     current call tree, preferred on ties.
     """
+    faults.check(faults.SITE_COLORING, fn.name)
     options = options or ColoringOptions()
     if cfg is None:
         cfg = build_cfg(fn)

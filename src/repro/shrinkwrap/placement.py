@@ -34,9 +34,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import faults
 from repro.cfg.cfg import CFG
 from repro.cfg.loops import LoopInfo
 from repro.dataflow.antav import AntAv, solve_ant_av
+from repro.dataflow.framework import ConvergenceError
 
 
 @dataclass
@@ -209,6 +211,7 @@ def shrink_wrap(
     result = ShrinkWrapResult()
     if not app_blocks:
         return result
+    faults.check(faults.SITE_SHRINKWRAP)
 
     bits = {reg_index: 1 << reg_index for reg_index in app_blocks}
     all_mask = 0
@@ -258,7 +261,11 @@ def shrink_wrap(
         if not extended:
             break
     else:  # pragma: no cover - bounded by APP growth
-        raise RuntimeError("shrink-wrap failed to converge")
+        raise ConvergenceError(
+            "shrink-wrap range extension", max_iterations,
+            f"{n} blocks, {len(bits)} registers, "
+            f"{result.extended_blocks} extensions so far",
+        )
 
     exits = set(cfg.exits())
     for reg_index, bit in bits.items():

@@ -71,6 +71,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set
 
+from repro import faults
 from repro.ir.arith import MachineTrap, sdiv, srem
 from repro.pipeline.linker import Executable
 from repro.sim.simulator import (
@@ -136,6 +137,7 @@ class JitProgram:
         stack_words: int = DEFAULT_STACK_WORDS,
         max_cycles: int = DEFAULT_MAX_CYCLES,
     ):
+        faults.check(faults.SITE_JIT, getattr(exe, "entry", None))
         self.exe = exe
         self.mem_size = exe.data_size + stack_words
         self.max_cycles = max_cycles
@@ -553,4 +555,18 @@ def simulate(
             check_contracts=check_contracts,
             block_counts=block_counts,
         )
-    return run_jit(exe, stack_words=stack_words, max_cycles=max_cycles)
+    if sim_tier == "jit":
+        return run_jit(exe, stack_words=stack_words, max_cycles=max_cycles)
+    # tier "auto": a *translation* failure falls back to the reference
+    # interpreter with the reason recorded on the stats.  MachineTrap is
+    # program semantics (both tiers raise it identically) and propagates.
+    try:
+        return run_jit(exe, stack_words=stack_words, max_cycles=max_cycles)
+    except MachineTrap:
+        raise
+    except Exception as exc:
+        stats = run_program(
+            exe, stack_words=stack_words, max_cycles=max_cycles
+        )
+        stats.sim_fallback = repr(exc)
+        return stats

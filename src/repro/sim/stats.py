@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.target.isa import MemKind
 
@@ -26,6 +26,10 @@ class RunStats:
     loads: Counter = field(default_factory=Counter)    # MemKind -> count
     stores: Counter = field(default_factory=Counter)
     output: List[int] = field(default_factory=list)
+    #: set when an "auto"-tier run fell back from the block translator to
+    #: the interpreter (the repr of the translation failure); excluded
+    #: from equality because the measurement itself is tier-independent
+    sim_fallback: Optional[str] = field(default=None, compare=False)
 
     @property
     def scalar_loads(self) -> int:

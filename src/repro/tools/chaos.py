@@ -1,0 +1,159 @@
+"""Chaos runner: the benchmark suite under seeded fault injection.
+
+For every benchmark this drives two builds of the same source -- a
+plain (non-resilient) reference compile and a resilient compile under a
+seeded :class:`~repro.faults.FaultPlan` arming one fault per toolchain
+stage (planner, coloring, shrink-wrap, codegen, JIT translation, pool
+worker) -- and checks the resilience contract:
+
+* the resilient compile completes with **no unhandled exception**;
+* its program produces the **same output** as the reference build
+  (degradation is conservative, never wrong);
+* every procedure a ``raise`` fault actually hit is reported
+  **degraded to the open convention** in ``CompileReport``;
+* a compile in which **no fault fired** is **bit-identical** to the
+  reference build (the resilience layer is free on the fault-free
+  path).
+
+A final phase aims ``kill`` faults at the parallel suite runner's
+worker processes and checks the suite still completes with no errored
+cells.  Exit status is non-zero on any violation, so CI can run this
+as a gate::
+
+    PYTHONPATH=src python -m repro.tools.chaos --seed 0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import faults
+from repro.benchsuite.harness import run_suite
+from repro.benchsuite.registry import load_benchmarks
+from repro.engine.session import Compiler
+from repro.pipeline.driver import _reference_compile_program
+from repro.pipeline.options import PAPER_CONFIGS
+
+#: the acceptance stages: one injected failure in each must be survived
+CHAOS_SITES = (
+    faults.SITE_PLAN,
+    faults.SITE_COLORING,
+    faults.SITE_SHRINKWRAP,
+    faults.SITE_CODEGEN,
+    faults.SITE_JIT,
+    faults.SITE_WORKER,
+)
+
+#: sites whose fault key names the procedure being compiled, so a fired
+#: raise there must surface as that procedure's degradation
+_PROCEDURE_SITES = (faults.SITE_PLAN, faults.SITE_COLORING,
+                    faults.SITE_CODEGEN)
+
+
+def _snapshot(exe) -> tuple:
+    return ([repr(i) for i in exe.instrs], exe.entry_pc, exe.data_init,
+            exe.preserved_masks)
+
+
+def run_chaos(seed: int, config: str, names: Optional[List[str]] = None,
+              verbose: bool = True) -> List[str]:
+    """Run the chaos sweep; returns a list of violation messages."""
+    options = PAPER_CONFIGS[config]
+    benches = load_benchmarks()
+    selected = list(names) if names else list(benches)
+    violations: List[str] = []
+    fired_total = 0
+    degraded_total = 0
+
+    for i, name in enumerate(selected):
+        source = benches[name].source
+        reference = _reference_compile_program(source, options)
+        ref_out = reference.run(sim_tier="interp").output
+
+        plan = faults.FaultPlan.seeded(seed + i, sites=CHAOS_SITES)
+        try:
+            with faults.active(plan):
+                built = Compiler(options, resilient=True) \
+                    .add_sources(source).compile()
+                out = built.run().output
+        except Exception as exc:
+            violations.append(f"{name}: unhandled exception {exc!r}")
+            continue
+
+        report = built.report
+        fired_total += len(plan.fired)
+        degraded_total += len(report.degradations)
+
+        if out != ref_out:
+            violations.append(
+                f"{name}: degraded output {out} != reference {ref_out}"
+            )
+        degraded = report.degraded_procedures()
+        for site, key, kind in plan.fired:
+            if site in _PROCEDURE_SITES and kind == "raise" \
+                    and key not in degraded:
+                violations.append(
+                    f"{name}: fault at {site}:{key} fired but {key} "
+                    "is not reported degraded"
+                )
+        if not plan.fired and not report.degradations:
+            if _snapshot(built.executable) != _snapshot(reference.executable):
+                violations.append(
+                    f"{name}: fault-free resilient build is not "
+                    "bit-identical to the reference build"
+                )
+        if verbose:
+            print(
+                f"{name:<10s} fired={len(plan.fired):d} "
+                f"degraded={len(report.degradations):d} "
+                f"retries={report.retries:d} output-ok="
+                f"{out == ref_out}"
+            )
+
+    # pool-worker phase: kill a suite worker, the suite must finish
+    two = selected[:2] if len(selected) >= 2 else selected
+    kill_plan = faults.FaultPlan(specs=[
+        faults.FaultSpec(site=faults.SITE_SUITE_WORKER, kind="kill",
+                         match=f"{two[0]}:{config}", count=1),
+    ])
+    try:
+        with faults.active(kill_plan):
+            results = run_suite([config], names=two, jobs=2,
+                                task_timeout=120.0)
+        errored = {r.benchmark.name: r.errors for r in results if r.errors}
+        if errored:
+            violations.append(f"suite kill phase: errored cells {errored}")
+        elif verbose:
+            retries = sum(r.retries for r in results)
+            print(f"suite-kill  retries={retries} errors=0")
+    except Exception as exc:
+        violations.append(f"suite kill phase: unhandled exception {exc!r}")
+
+    if verbose:
+        print(
+            f"total: {fired_total} faults fired, {degraded_total} "
+            f"degradations, {len(violations)} violations"
+        )
+    return violations
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run the benchmark suite under seeded fault injection"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--config", default="C",
+                        choices=sorted(PAPER_CONFIGS))
+    parser.add_argument("--names", nargs="*", default=None,
+                        help="benchmarks to run (default: all)")
+    args = parser.parse_args(argv)
+    violations = run_chaos(args.seed, args.config, args.names)
+    for v in violations:
+        print(f"VIOLATION: {v}", file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

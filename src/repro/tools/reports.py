@@ -126,6 +126,53 @@ def disassemble(exe: Executable, function: Optional[str] = None) -> str:
     return "\n".join(lines)
 
 
+def resilience_report(prog: CompiledProgram) -> str:
+    """The fault-boundary outcome of a resilient compile: every
+    degradation (procedure, stage, fallback rung, error) plus the retry
+    and cache-corruption counters.  Programs compiled without
+    ``resilient=True`` carry no report."""
+    report = prog.report
+    if report is None:
+        return "no resilience report (compiled without resilient=True)"
+    lines = [
+        f"degraded procedures: {len(report.degradations)}  "
+        f"retries: {report.retries}  "
+        f"cache corruptions: {report.cache_corruptions}  "
+        f"jit fallbacks: {report.jit_fallbacks}"
+    ]
+    for d in report.degradations:
+        lines.append(
+            f"  {d.procedure}: {d.stage} failed -> {d.fallback} ({d.error})"
+        )
+    return "\n".join(lines)
+
+
+def suite_fault_summary(results, engine_stats=None) -> str:
+    """Per-run fault totals for a benchmark-suite report: worker
+    retries and errored cells per benchmark, plus the engine's
+    session-wide resilience counters when its stats are given."""
+    retries = sum(r.retries for r in results)
+    errors = sum(len(r.errors) for r in results)
+    lines = [f"suite faults: {retries} worker retries, {errors} failed cells"]
+    for r in results:
+        if r.retries or r.errors:
+            failed = ", ".join(
+                f"{cfg}: {err}" for cfg, err in sorted(r.errors.items())
+            )
+            lines.append(
+                f"  {r.benchmark.name}: {r.retries} retries"
+                + (f"; failed [{failed}]" if failed else "")
+            )
+    if engine_stats is not None:
+        totals = engine_stats.fault_totals()
+        lines.append(
+            "engine faults: "
+            f"{totals['degraded']} degraded, {totals['retries']} retries, "
+            f"{totals['cache_corruptions']} cache corruptions"
+        )
+    return "\n".join(lines)
+
+
 def interference_summary(plan: FnPlan) -> str:
     """Degree histogram of the interference graph (allocation pressure)."""
     alloc = plan.alloc

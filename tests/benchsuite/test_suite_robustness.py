@@ -1,0 +1,90 @@
+"""Robustness of the parallel suite runner.
+
+The supervised pool must survive killed and hung workers (rebuild +
+retry + inline fallback), record genuinely unrunnable cells in
+``BenchResult.errors`` instead of raising, and reject nonsense
+arguments up front.
+"""
+
+import pytest
+
+from repro import faults
+from repro.benchsuite.harness import run_suite
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_plan():
+    yield
+    faults.clear()
+
+
+def test_empty_selection_is_an_error():
+    with pytest.raises(ValueError, match="[Nn]o benchmarks"):
+        run_suite(("A",), names=[])
+
+
+def test_unknown_name_lists_available_benchmarks():
+    with pytest.raises(ValueError, match="nosuchbench"):
+        run_suite(("A",), names=["nosuchbench"])
+
+
+def test_nonpositive_jobs_is_an_error():
+    with pytest.raises(ValueError, match="jobs"):
+        run_suite(("A",), names=["nim"], jobs=0)
+    with pytest.raises(ValueError, match="jobs"):
+        run_suite(("A",), names=["nim"], jobs=-3)
+
+
+def by_name(results):
+    return {r.benchmark.name: r for r in results}
+
+
+def test_killed_worker_is_retried_and_suite_completes():
+    serial = by_name(run_suite(("A",), names=["nim", "map"], jobs=1))
+    plan = faults.FaultPlan(specs=[faults.FaultSpec(
+        site=faults.SITE_SUITE_WORKER, kind="kill", match="nim:A", count=1,
+    )])
+    with faults.active(plan):
+        parallel = by_name(run_suite(("A",), names=["nim", "map"], jobs=2,
+                                     task_timeout=60.0))
+    for name in ("nim", "map"):
+        assert not parallel[name].errors
+        assert parallel[name].stats["A"] == serial[name].stats["A"]
+    # the kill took the whole pool down, so at least the killed cell
+    # went through a retry round
+    assert sum(r.retries for r in parallel.values()) >= 1
+
+
+def test_hung_worker_trips_the_watchdog_and_recovers():
+    plan = faults.FaultPlan(specs=[faults.FaultSpec(
+        site=faults.SITE_SUITE_WORKER, kind="hang", match="nim:A",
+        count=1, hang_seconds=10.0,
+    )])
+    with faults.active(plan):
+        results = by_name(run_suite(("A",), names=["nim"], jobs=2,
+                                    task_timeout=1.0, max_retries=2))
+    assert not results["nim"].errors
+    assert results["nim"].retries >= 1
+
+
+def test_persistently_failing_cell_is_recorded_not_raised():
+    # a persistent plan fault fails in the workers AND in the parent's
+    # inline fallback, so the cell lands in errors instead of raising
+    plan = faults.FaultPlan(specs=[faults.FaultSpec(
+        site=faults.SITE_PLAN, count=None,
+    )])
+    with faults.active(plan):
+        results = by_name(run_suite(("A",), names=["nim"], jobs=2,
+                                    task_timeout=60.0, max_retries=1))
+    assert "A" in results["nim"].errors
+    assert "InjectedFault" in results["nim"].errors["A"]
+
+
+def test_parallel_matches_serial_under_robustness_params():
+    serial = by_name(run_suite(("A", "C"), names=["nim"], jobs=1))
+    parallel = by_name(run_suite(("A", "C"), names=["nim"], jobs=2,
+                                 task_timeout=60.0, max_retries=2))
+    assert not parallel["nim"].errors
+    assert parallel["nim"].retries == 0
+    for config in ("base", "A", "C"):
+        assert parallel["nim"].stats[config] == serial["nim"].stats[config]

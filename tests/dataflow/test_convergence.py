@@ -1,0 +1,71 @@
+"""Iteration caps raise an actionable ConvergenceError instead of
+hanging -- for the generic dataflow solver (non-monotone problem) and
+the shrink-wrap range-extension loop (exhausted budget)."""
+
+import pytest
+
+from helpers import lower
+
+from repro.cfg import build_cfg
+from repro.cfg.loops import find_loops
+from repro.dataflow import DataflowProblem, solve
+from repro.dataflow.framework import ConvergenceError
+from repro.shrinkwrap.placement import shrink_wrap
+
+
+def cfg_of(src, name="f"):
+    return build_cfg(lower(src).functions[name])
+
+
+LOOPY = "func f(n) { while (n > 0) { n = n - 1; } return n; }"
+
+
+def test_non_monotone_forward_problem_raises_convergence_error():
+    cfg = cfg_of(LOOPY)
+    # the transfer strictly grows on every visit, so no fixed point
+    # exists; the budget must catch it and explain itself
+    problem = DataflowProblem(
+        forward=True,
+        top=0,
+        boundary=0,
+        meet=max,
+        transfer=lambda b, val: val + 1,
+    )
+    with pytest.raises(ConvergenceError) as info:
+        solve(cfg, problem)
+    err = info.value
+    assert err.solver == "dataflow (forward)"
+    assert err.iterations > 0
+    assert "non-monotone" in err.detail
+    assert "failed to converge" in str(err)
+
+
+def test_non_monotone_backward_problem_raises_convergence_error():
+    cfg = cfg_of(LOOPY)
+    problem = DataflowProblem(
+        forward=False,
+        top=0,
+        boundary=0,
+        meet=max,
+        transfer=lambda b, val: val + 1,
+    )
+    with pytest.raises(ConvergenceError, match="dataflow .backward."):
+        solve(cfg, problem)
+
+
+def test_shrink_wrap_exhausted_budget_raises_convergence_error():
+    cfg = cfg_of(LOOPY)
+    loops = find_loops(cfg)
+    with pytest.raises(ConvergenceError) as info:
+        shrink_wrap(cfg, loops, {0: {0}}, max_iterations=0)
+    err = info.value
+    assert err.solver == "shrink-wrap range extension"
+    assert err.iterations == 0
+    assert "blocks" in err.detail
+
+
+def test_shrink_wrap_converges_within_default_budget():
+    cfg = cfg_of(LOOPY)
+    loops = find_loops(cfg)
+    result = shrink_wrap(cfg, loops, {0: {0}, 1: {1}})
+    assert 0 < result.iterations <= 64

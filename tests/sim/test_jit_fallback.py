@@ -1,0 +1,82 @@
+"""Tier "auto" resilience: a JIT *translation* failure falls back to
+the reference interpreter (recorded, bit-identical stats), while
+program semantics -- traps, an explicit tier choice -- are never
+papered over."""
+
+import pytest
+
+from repro import faults
+from repro.ir.arith import MachineTrap
+from repro.pipeline.driver import compile_program
+from repro.pipeline.options import O3_SW
+from repro.sim import run_program, simulate
+
+SRC = """
+func f(n) {
+  if (n < 2) { return n; }
+  return f(n - 1) + f(n - 2);
+}
+func main() { print f(10); }
+"""
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_plan():
+    yield
+    faults.clear()
+
+
+def fresh_exe():
+    # compile fresh each time so no JitProgram translation cache from a
+    # previous test hides the injected translation failure
+    return compile_program(SRC, O3_SW).executable
+
+
+def test_translation_failure_falls_back_to_interpreter():
+    exe = fresh_exe()
+    plan = faults.FaultPlan(
+        specs=[faults.FaultSpec(site=faults.SITE_JIT, count=None)]
+    )
+    with faults.active(plan):
+        stats = simulate(exe, sim_tier="auto")
+    assert stats.sim_fallback is not None
+    assert "InjectedFault" in stats.sim_fallback
+    # bit-identical to a straight interpreter run (sim_fallback is
+    # excluded from RunStats equality)
+    assert stats == run_program(fresh_exe())
+
+
+def test_fallback_reason_counts_on_the_compile_report():
+    plan = faults.FaultPlan(
+        specs=[faults.FaultSpec(site=faults.SITE_JIT, count=None)]
+    )
+    from repro.engine.session import Compiler
+
+    prog = Compiler(O3_SW, resilient=True).add_sources(SRC).compile()
+    with faults.active(plan):
+        prog.run(sim_tier="auto")
+    assert prog.report.jit_fallbacks == 1
+
+
+def test_explicit_jit_tier_propagates_the_failure():
+    exe = fresh_exe()
+    plan = faults.FaultPlan(
+        specs=[faults.FaultSpec(site=faults.SITE_JIT, count=None)]
+    )
+    with faults.active(plan):
+        with pytest.raises(faults.InjectedFault):
+            simulate(exe, sim_tier="jit")
+
+
+def test_machine_trap_is_not_swallowed_by_the_fallback():
+    exe = fresh_exe()
+    # an exhausted cycle budget is program semantics, not a translation
+    # fault: tier "auto" must surface it, not rerun on the interpreter
+    with pytest.raises(MachineTrap):
+        simulate(exe, sim_tier="auto", max_cycles=10)
+
+
+def test_fault_free_auto_tier_records_no_fallback():
+    stats = simulate(fresh_exe(), sim_tier="auto")
+    assert stats.sim_fallback is None
+    assert stats == run_program(fresh_exe())
