@@ -14,7 +14,15 @@ For every benchmark-suite program this measures
   JIT tier, with identical statistics required from both, and
 * ``incremental`` -- cold vs warm recompile time through a
   ``repro.Compiler`` session after editing one procedure, with the warm
-  executable checked bit-identical to a from-scratch compile.
+  executable checked bit-identical to a from-scratch compile, and
+* ``store_warm`` -- a genuinely cold OS process warm-starting from a
+  populated on-disk artifact store vs a fully cold storeless process
+  (both measured as subprocess children), bit-identity required.
+
+The baseline carries ``schema_version``; ``--check`` validates the
+committed file against the current version and required scenario keys,
+so a renamed or dropped scenario fails CI loudly instead of silently
+vanishing from the record.
 
 Results land in ``benchmarks/BENCH_speed.json`` next to this script so a
 checked-in baseline can be compared across commits (engine cache
@@ -51,6 +59,16 @@ from repro.pipeline import O3_SW, compile_program
 RESULT_PATH = Path(__file__).resolve().parent / "BENCH_speed.json"
 STATS_PATH = Path(__file__).resolve().parent / "BENCH_engine_stats.json"
 
+#: bump when scenarios are added/renamed; ``--check`` validates the
+#: checked-in baseline against this so a scenario cannot silently
+#: disappear from the record
+SCHEMA_VERSION = 2
+
+#: every scenario key the baseline must carry at SCHEMA_VERSION
+REQUIRED_SCENARIOS = (
+    "programs", "total", "parallel_suite", "incremental", "store_warm",
+)
+
 #: --check fails below this warm/cold speedup (the recorded baseline is
 #: far higher; the floor only catches cache regressions, not CI jitter)
 MIN_WARM_SPEEDUP = 3.0
@@ -58,6 +76,11 @@ MIN_WARM_SPEEDUP = 3.0
 #: --check fails when the JIT tier's aggregate simulation throughput
 #: over the whole suite is below this multiple of the interpreter's
 MIN_SIM_SPEEDUP = 3.0
+
+#: --check fails when a cold process with a warm disk store is not at
+#: least this much faster than a fully cold storeless compile of the
+#: suite (the baseline records >= 4x; 3x absorbs CI jitter)
+MIN_STORE_SPEEDUP = 3.0
 
 
 def edit_one_procedure(source: str, salt: int) -> str:
@@ -176,6 +199,80 @@ def bench_parallel_suite(jobs: int) -> dict:
     }
 
 
+def bench_store_warm(repeats: int) -> dict:
+    """Fully cold process vs cold process + warm artifact store.
+
+    Every measurement is a real child process (the warmstart child
+    protocol), so "cold" genuinely means no in-memory caches; only the
+    disk store distinguishes the two sides.  The warm-started builds
+    must be bit-identical to the storeless reference's.
+    """
+    import tempfile
+
+    from repro.tools.warmstart import _spawn_child
+
+    configs = ["C"]
+    best_cold = None
+    cold_digests = None
+    for _ in range(repeats):
+        rep = _spawn_child(None, configs, None)
+        if best_cold is None or rep["seconds"] < best_cold:
+            best_cold = rep["seconds"]
+        cold_digests = rep["digests"]
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as store:
+        _spawn_child(store, configs, None)   # process A: warms the store
+        best_warm = None
+        last = None
+        for _ in range(repeats):
+            rep = _spawn_child(store, configs, None)
+            if best_warm is None or rep["seconds"] < best_warm:
+                best_warm = rep["seconds"]
+            last = rep
+
+    if last["digests"] != cold_digests:
+        raise AssertionError(
+            "store-warm builds are not bit-identical to the storeless "
+            "cold reference"
+        )
+    st = last["store"]
+    lookups = st["hits"] + st["misses"]
+    return {
+        "configs": configs,
+        "programs": len(cold_digests),
+        "cold_process_s": round(best_cold, 4),
+        "store_warm_s": round(best_warm, 4),
+        "speedup": round(best_cold / best_warm, 1) if best_warm else 0.0,
+        "store_hit_rate": round(st["hits"] / lookups, 4) if lookups else 0.0,
+        "store_corruptions": st["corruptions"],
+    }
+
+
+def validate_baseline() -> list:
+    """--check: the committed baseline must carry every scenario at the
+    current schema version -- a renamed or dropped scenario fails loudly
+    instead of silently vanishing from the record."""
+    if not RESULT_PATH.exists():
+        return [f"baseline {RESULT_PATH.name} is missing"]
+    try:
+        data = json.loads(RESULT_PATH.read_text())
+    except ValueError as exc:
+        return [f"baseline {RESULT_PATH.name} is not valid JSON: {exc}"]
+    errors = []
+    found = data.get("schema_version")
+    if found != SCHEMA_VERSION:
+        errors.append(
+            f"baseline schema_version {found!r} != expected "
+            f"{SCHEMA_VERSION} (regenerate the baseline)"
+        )
+    for key in REQUIRED_SCENARIOS:
+        if key not in data:
+            errors.append(
+                f"baseline is missing required scenario {key!r}"
+            )
+    return errors
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -187,6 +284,13 @@ def main(argv=None) -> int:
         help="timing repetitions per program (best-of, default 3)",
     )
     args = ap.parse_args(argv)
+
+    if args.check:
+        schema_errors = validate_baseline()
+        if schema_errors:
+            for err in schema_errors:
+                print(f"FAIL: {err}", file=sys.stderr)
+            return 1
 
     repeats = 1 if args.check else max(1, args.repeats)
     benches = load_benchmarks()
@@ -285,8 +389,32 @@ def main(argv=None) -> int:
         )
         return 1
 
+    # cold process + warm disk store vs fully cold, both real processes
+    store_warm = bench_store_warm(repeats)
+    print(
+        f"{'STORE':10s} cold-proc {store_warm['cold_process_s']:7.3f}s   "
+        f"store-warm {store_warm['store_warm_s']:7.3f}s   "
+        f"speedup {store_warm['speedup']:6.1f}x   "
+        f"hit-rate {store_warm['store_hit_rate']:.1%}"
+    )
+    if store_warm["speedup"] < MIN_STORE_SPEEDUP:
+        print(
+            f"FAIL: store-warm speedup {store_warm['speedup']}x is below "
+            f"the {MIN_STORE_SPEEDUP}x regression floor",
+            file=sys.stderr,
+        )
+        return 1
+    if store_warm["store_corruptions"]:
+        print(
+            f"FAIL: warm store reported "
+            f"{store_warm['store_corruptions']} corrupt entries",
+            file=sys.stderr,
+        )
+        return 1
+
     if not args.check:
         payload = {
+            "schema_version": SCHEMA_VERSION,
             "config": "O3_SW",
             "python": sys.version.split()[0],
             "repeats": repeats,
@@ -294,6 +422,7 @@ def main(argv=None) -> int:
             "total": total,
             "parallel_suite": parallel,
             "incremental": {"programs": incremental, "total": inc_total},
+            "store_warm": store_warm,
         }
         RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {RESULT_PATH}")

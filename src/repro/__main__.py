@@ -8,6 +8,7 @@ Usage::
     python -m repro ir PROG.mc [options]                  # optimised IR
     python -m repro report PROG.mc [options]              # allocation report
     python -m repro dot PROG.mc [options]                 # call graph (DOT)
+    python -m repro store {stats,gc,verify} PATH ...      # artifact store
 
 Options: -O0/-O1/-O2/-O3, --shrink-wrap, --no-combine, --callers N,
 --callees N, --ipra-globals, --check, --entry NAME,
@@ -52,6 +53,12 @@ def _sources(paths: List[str]):
 
 
 def main(argv: List[str] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "store":
+        from repro.store.cli import store_main
+
+        return store_main(argv[1:])
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument(
         "command", choices=["run", "stats", "asm", "ir", "report", "dot"]

@@ -122,3 +122,43 @@ def weights_fingerprint(
     if weights is None:
         return None
     return tuple(sorted(weights.items()))
+
+
+def options_fingerprint(options) -> str:
+    """Stable digest of a :class:`~repro.pipeline.options.CompilerOptions`.
+
+    Covers every field, including the ones plan keys carry separately
+    (``entry``, ``externally_visible``): this digest keys whole *requests*
+    (service single-flight, warm-start identity checks), where any field
+    difference must be a different request.
+    """
+    weights = options.block_weights
+    parts = [
+        str(options.opt_level),
+        str(options.shrink_wrap),
+        ",".join(str(r.index) for r in options.register_file.allocatable),
+        str(options.combine),
+        str(options.prefer_subtree_reg),
+        str(options.smear_loops),
+        str(options.externally_visible),
+        options.entry,
+        "~" if weights is None else repr(
+            sorted((f, tuple(sorted(w.items()))) for f, w in weights.items())
+        ),
+        str(options.ipra_globals),
+    ]
+    return hashlib.sha256("\x00".join(parts).encode("utf-8")).hexdigest()
+
+
+def request_fingerprint(named_sources, options) -> str:
+    """Digest of one compile request: (name, text) pairs plus options.
+
+    This is the single-flight key of :class:`repro.service.CompileService`
+    -- two requests with the same fingerprint produce bit-identical
+    executables, so one compile may serve both.
+    """
+    parts = [options_fingerprint(options)]
+    for name, text in named_sources:
+        parts.append(name)
+        parts.append(text_digest(text))
+    return hashlib.sha256("\x00".join(parts).encode("utf-8")).hexdigest()

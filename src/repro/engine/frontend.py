@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.engine.fingerprint import text_digest
+from repro.store.store import NS_FRONTEND as _NS_FRONTEND
 from repro.frontend import analyze, parse
 from repro.frontend import ast_nodes as ast
 from repro.ir.function import IRFunction, IRModule
@@ -148,13 +149,23 @@ class _FnEntry:
 
 
 class FrontendCache:
-    """Session-lifetime parse/lower/optimise caches."""
+    """Session-lifetime parse/lower/optimise caches.
 
-    def __init__(self) -> None:
+    With an :class:`~repro.store.ArtifactStore` attached, per-function
+    entries are additionally shared across sessions and processes: a
+    chunk missing from the in-memory cache is looked up on disk (under
+    the same content key) before the real front end runs, and freshly
+    lowered chunks are written through.  Restored functions went through
+    ``remove_unreachable_blocks`` before they were first published, so
+    they splice into a module exactly like in-memory entries.
+    """
+
+    def __init__(self, store=None) -> None:
         #: (module name, source sha, optimise) -> assembled IRModule
         self._modules: Dict[Tuple[str, str, bool], IRModule] = {}
         #: (symtab sha, chunk sha, optimise) -> lowered function
         self._functions: Dict[Tuple[str, str, bool], _FnEntry] = {}
+        self._store = store
         self.hits = 0
         self.misses = 0
         self.fn_hits = 0
@@ -207,6 +218,11 @@ class FrontendCache:
         for chunk in chunks:
             fkey = (symtab, text_digest(chunk.text), optimize)
             entry = self._functions.get(fkey)
+            if entry is None and self._store is not None:
+                restored = self._store.get(_NS_FRONTEND, fkey)
+                if isinstance(restored, _FnEntry):
+                    self._functions[fkey] = restored
+                    entry = restored
             if entry is not None:
                 self.fn_hits += 1
                 entries[chunk.name] = entry
@@ -243,6 +259,8 @@ class FrontendCache:
             fkey = (symtab, text_digest(chunk.text), optimize)
             self._functions[fkey] = entry
             entries[chunk.name] = entry
+            if self._store is not None:
+                self._store.put(_NS_FRONTEND, fkey, entry)
         if optimize and missing:
             verify_module(lowered)
 

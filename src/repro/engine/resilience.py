@@ -154,6 +154,11 @@ class GuardedCache:
     def put(self, key, value) -> None:
         self._data[key] = (value, self._fingerprint(value))
 
+    def drop(self, key) -> None:
+        """Evict the entry under ``key`` (used when the engine must not
+        re-hit a store-restored stub during a replan restart)."""
+        self._data.pop(key, None)
+
     def corrupt(self, key) -> bool:
         """Fault-injection hook: bit-rot the entry under ``key``."""
         if key in self._data:

@@ -50,6 +50,13 @@ class Compiler:
     session, and ``compile().report.degradations`` lists what happened
     (see :mod:`repro.engine.resilience`).  ``policy`` tunes the worker
     watchdogs.  The fault-free path is bit-identical either way.
+
+    ``store_path=...`` attaches a persistent, cross-process artifact
+    store under that directory: compiles fall through the in-memory
+    caches to disk and write fresh work through, so a brand-new process
+    pointed at the same path warm-starts from earlier sessions' work
+    (see :mod:`repro.store`).  Warm-started output stays bit-identical
+    to a cold compile.
     """
 
     def __init__(
@@ -58,10 +65,11 @@ class Compiler:
         max_workers: Optional[int] = None,
         resilient: bool = False,
         policy: Optional[ResiliencePolicy] = None,
+        store_path=None,
     ):
         self._engine = Engine(
             options, max_workers=max_workers,
-            resilient=resilient, policy=policy,
+            resilient=resilient, policy=policy, store_path=store_path,
         )
         self._sources: List[Tuple[str, str]] = []
 
@@ -85,6 +93,17 @@ class Compiler:
     @property
     def stats(self) -> EngineStats:
         return self._engine.stats
+
+    @property
+    def store(self):
+        """The attached :class:`~repro.store.ArtifactStore`, or ``None``."""
+        return self._engine.store
+
+    @property
+    def engine(self):
+        """The underlying :class:`~repro.engine.core.Engine` (exposed for
+        batch front ends such as :class:`repro.service.CompileService`)."""
+        return self._engine
 
     # -- sources ------------------------------------------------------------
 

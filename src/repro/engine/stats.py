@@ -17,7 +17,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-STAGES = ("frontend", "plan", "codegen", "link")
+#: the ``store`` stage has no pipeline work of its own: its seconds are
+#: time spent in on-disk artifact-store I/O and its hits/misses are
+#: store-level lookups (a store hit surfaces as a hit in the stage that
+#: skipped work *and* here)
+STAGES = ("frontend", "plan", "codegen", "link", "store")
 
 
 @dataclass

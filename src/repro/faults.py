@@ -3,7 +3,8 @@
 A :class:`FaultPlan` is an explicit, seedable list of faults to inject
 at named *sites* threaded through the toolchain (planning, coloring,
 shrink-wrapping, codegen, cache lookups, pool workers, JIT
-translation, suite workers).  Components consult the harness with
+translation, suite workers, and the on-disk artifact store's reads,
+writes and lock acquisitions).  Components consult the harness with
 
     faults.check(SITE_COLORING, fn.name)
 
@@ -66,6 +67,9 @@ __all__ = [
     "SITE_JIT",
     "SITE_PLAN",
     "SITE_SHRINKWRAP",
+    "SITE_STORE_LOCK",
+    "SITE_STORE_READ",
+    "SITE_STORE_WRITE",
     "SITE_SUITE_WORKER",
     "SITE_WORKER",
 ]
@@ -81,6 +85,9 @@ SITE_SHRINKWRAP = "shrinkwrap"       # shrinkwrap/placement: shrink_wrap
 SITE_WORKER = "worker"               # engine/scheduler: planner pool task
 SITE_JIT = "jit"                     # sim/jit: superblock translation
 SITE_SUITE_WORKER = "suite-worker"   # benchsuite/harness: suite pool cell
+SITE_STORE_READ = "store-read"       # store: entry payload read (corrupt)
+SITE_STORE_WRITE = "store-write"     # store: entry write (raise = I/O error)
+SITE_STORE_LOCK = "store-lock"       # store: advisory-lock acquisition
 
 ALL_SITES: Tuple[str, ...] = (
     SITE_PLAN,
@@ -92,6 +99,9 @@ ALL_SITES: Tuple[str, ...] = (
     SITE_WORKER,
     SITE_JIT,
     SITE_SUITE_WORKER,
+    SITE_STORE_READ,
+    SITE_STORE_WRITE,
+    SITE_STORE_LOCK,
 )
 
 KINDS = ("raise", "hang", "corrupt", "kill")

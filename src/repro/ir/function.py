@@ -43,6 +43,17 @@ class IRFunction:
 
     _by_name: Dict[str, BasicBlock] = field(default_factory=dict, repr=False)
 
+    def __getstate__(self):
+        # _by_name holds only derived references into ``blocks``; drop it
+        # from pickles (artifact-store payloads) and rebuild on load.
+        state = dict(self.__dict__)
+        state.pop("_by_name", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._by_name = {b.name: b for b in self.blocks}
+
     def add_block(self, block: BasicBlock) -> BasicBlock:
         if block.name in self._by_name:
             raise ValueError(f"duplicate block name {block.name!r}")

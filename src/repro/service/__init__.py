@@ -1,0 +1,10 @@
+"""Async compile service: a batching, deduplicating front end over
+:class:`~repro.engine.core.Engine` (see :mod:`repro.service.service`)."""
+
+from repro.service.service import (
+    CompileService,
+    ServiceResult,
+    ServiceStats,
+)
+
+__all__ = ["CompileService", "ServiceResult", "ServiceStats"]

@@ -1,0 +1,259 @@
+"""An async facade over the incremental engine.
+
+:class:`CompileService` accepts many concurrent compile/run requests
+(``await service.compile(sources)``) against one shared
+:class:`~repro.engine.core.Engine` -- and therefore one shared set of
+in-memory caches and, with ``store_path=...``, one shared persistent
+artifact store.  Two mechanisms keep concurrent load cheap:
+
+**Single-flight.**  Requests are keyed by
+:func:`~repro.engine.fingerprint.request_fingerprint` (source texts +
+full options digest).  While a request is being compiled, every further
+request with the same fingerprint awaits the *same* in-flight future
+instead of compiling again; its :class:`ServiceResult` comes back with
+``deduped=True``.  A request arriving after the flight lands simply
+re-enters through the engine caches (which make it nearly free) --
+single-flight bounds duplicate *work in flight*, not duplicate lookups.
+
+**Batching.**  Distinct requests that arrive within ``batch_window``
+seconds are grouped (per options digest, up to ``max_batch``) and handed
+to :meth:`Engine.compile_batch`, which merges their SCC condensation
+levels onto one schedule: independent procedures from different requests
+plan concurrently on the engine's worker pool, and shared procedures
+deduplicate through the session caches.
+
+The engine itself runs on the event loop's default executor, one batch
+at a time -- the engine is a session object, not a thread-safe one; the
+service is the serialisation point.  Results carry the per-request
+:class:`~repro.engine.stats.CompileRecord` (stage seconds, cache and
+store hit/miss counts) when the engine produced one, plus a snapshot of
+the store's cumulative counters (hits/misses/evictions/corruptions).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.core import Engine, normalize_sources
+from repro.engine.fingerprint import options_fingerprint, request_fingerprint
+from repro.engine.resilience import ResiliencePolicy
+from repro.engine.stats import CompileRecord
+from repro.pipeline.driver import CompiledProgram, Source
+from repro.pipeline.options import CompilerOptions, O2, validate_options
+
+
+@dataclass
+class ServiceStats:
+    """Cumulative counters for one :class:`CompileService`."""
+
+    requests: int = 0
+    deduped: int = 0         # requests served by an in-flight duplicate
+    batches: int = 0         # Engine.compile_batch round trips
+    compiled: int = 0        # requests that produced a program
+    failed: int = 0          # requests that raised
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "deduped": self.deduped,
+            "batches": self.batches,
+            "compiled": self.compiled,
+            "failed": self.failed,
+        }
+
+
+@dataclass
+class ServiceResult:
+    """One request's outcome."""
+
+    program: CompiledProgram
+    fingerprint: str
+    #: True when this request awaited another request's in-flight compile
+    deduped: bool = False
+    #: the engine's per-request record (None when attribution was lost to
+    #: a faulted batch -- counts are still in ``Engine.stats``)
+    record: Optional[CompileRecord] = None
+    #: cumulative store counters at completion (None without a store)
+    store: Optional[Dict] = None
+
+
+@dataclass
+class _Pending:
+    fingerprint: str
+    sources: List[Tuple[str, str]]
+    options: CompilerOptions
+    options_fp: str
+    future: "asyncio.Future[ServiceResult]"
+
+
+class CompileService:
+    """Async, batching, deduplicating compile server over one engine.
+
+    Usage::
+
+        service = CompileService(O3_SW, store_path="…/store")
+        results = await asyncio.gather(
+            *(service.compile(src) for src in sources)
+        )
+
+    All coroutine methods must be called from one event loop; the
+    blocking engine work runs on the loop's default executor.
+    """
+
+    def __init__(
+        self,
+        options: CompilerOptions = O2,
+        *,
+        store_path=None,
+        max_workers: Optional[int] = None,
+        resilient: bool = False,
+        policy: Optional[ResiliencePolicy] = None,
+        batch_window: float = 0.005,
+        max_batch: int = 16,
+    ):
+        self.engine = Engine(
+            validate_options(options),
+            max_workers=max_workers,
+            resilient=resilient,
+            policy=policy,
+            store_path=store_path,
+        )
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self.stats = ServiceStats()
+        self._inflight: Dict[str, "asyncio.Future[ServiceResult]"] = {}
+        self._pending: List[_Pending] = []
+        self._drain_task: Optional[asyncio.Task] = None
+
+    @property
+    def store(self):
+        return self.engine.store
+
+    def store_counters(self) -> Optional[Dict]:
+        """Cumulative artifact-store counters, or ``None`` without one."""
+        return (
+            self.engine.store.stats.to_dict()
+            if self.engine.store is not None else None
+        )
+
+    # -- the request path ---------------------------------------------------
+
+    async def compile(
+        self,
+        sources: Union[Source, Sequence[Source]],
+        options: Optional[CompilerOptions] = None,
+    ) -> ServiceResult:
+        """Compile one request; concurrent identical requests share one
+        flight, concurrent distinct requests share one batch."""
+        self.stats.requests += 1
+        opts = (
+            self.engine.options if options is None
+            else validate_options(options)
+        )
+        named = normalize_sources(sources)
+        fp = request_fingerprint(named, opts)
+
+        inflight = self._inflight.get(fp)
+        if inflight is not None:
+            self.stats.deduped += 1
+            result = await asyncio.shield(inflight)
+            return replace(result, deduped=True)
+
+        future: "asyncio.Future[ServiceResult]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._inflight[fp] = future
+        self._pending.append(
+            _Pending(fp, named, opts, options_fingerprint(opts), future)
+        )
+        if self._drain_task is None or self._drain_task.done():
+            self._drain_task = asyncio.create_task(self._drain())
+        return await future
+
+    async def run(
+        self,
+        sources: Union[Source, Sequence[Source]],
+        options: Optional[CompilerOptions] = None,
+        **run_kwargs,
+    ):
+        """Compile (with dedup/batching) and execute on the simulator."""
+        result = await self.compile(sources, options)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, lambda: result.program.run(**run_kwargs)
+        )
+
+    async def join(self) -> None:
+        """Wait until every accepted request has resolved."""
+        while self._drain_task is not None and not self._drain_task.done():
+            await asyncio.shield(self._drain_task)
+
+    # -- internals ----------------------------------------------------------
+
+    async def _drain(self) -> None:
+        """Collect requests for one batch window, group them by options,
+        and run each group through the engine; repeats while new requests
+        keep arriving."""
+        try:
+            while self._pending:
+                await asyncio.sleep(self.batch_window)
+                pending, self._pending = self._pending, []
+                groups: Dict[str, List[_Pending]] = {}
+                for p in pending:
+                    groups.setdefault(p.options_fp, []).append(p)
+                for group in groups.values():
+                    for start in range(0, len(group), self.max_batch):
+                        await self._run_group(
+                            group[start:start + self.max_batch]
+                        )
+        finally:
+            self._drain_task = None
+
+    async def _run_group(self, group: List[_Pending]) -> None:
+        self.stats.batches += 1
+        engine = self.engine
+        loop = asyncio.get_running_loop()
+        before = len(engine.stats.records)
+        try:
+            results = await loop.run_in_executor(
+                None,
+                engine.compile_batch,
+                [p.sources for p in group],
+                group[0].options,
+            )
+        except Exception as exc:  # engine-level failure: fail the group
+            for p in group:
+                self._inflight.pop(p.fingerprint, None)
+                self.stats.failed += 1
+                if not p.future.done():
+                    p.future.set_exception(exc)
+            return
+
+        # per-request records appear in request order when nothing
+        # faulted; on a faulted batch attribution is lost and results
+        # carry record=None (the counts remain in engine.stats)
+        new_records = engine.stats.records[before:]
+        successes = [r for r in results if not isinstance(r, Exception)]
+        records: List[Optional[CompileRecord]] = (
+            list(new_records) if len(new_records) == len(successes)
+            else [None] * len(successes)
+        )
+        rec_iter = iter(records)
+        store = self.store_counters()
+        for p, res in zip(group, results):
+            self._inflight.pop(p.fingerprint, None)
+            if isinstance(res, Exception):
+                self.stats.failed += 1
+                if not p.future.done():
+                    p.future.set_exception(res)
+            else:
+                self.stats.compiled += 1
+                if not p.future.done():
+                    p.future.set_result(ServiceResult(
+                        program=res,
+                        fingerprint=p.fingerprint,
+                        record=next(rec_iter),
+                        store=store,
+                    ))

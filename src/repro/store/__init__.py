@@ -1,0 +1,26 @@
+"""Persistent content-addressed artifact store.
+
+The incremental engine's caches (front-end IR, plan summaries, codegen
+artifacts) are content-keyed, so they are safe to share across sessions
+and *processes*: the same key can only ever map to what a cold compile
+would produce.  :class:`ArtifactStore` promotes them to a sharded
+on-disk store so a brand-new process warm-starts from another process's
+work (see DESIGN.md section 10 for the layout, key scheme and the
+corruption/locking model).
+"""
+
+from repro.store.artifacts import StoredPlan
+from repro.store.store import (
+    ArtifactStore,
+    StoreStats,
+    key_digest,
+    open_store,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "StoreStats",
+    "StoredPlan",
+    "key_digest",
+    "open_store",
+]

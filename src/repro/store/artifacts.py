@@ -1,0 +1,70 @@
+"""What the store holds for each engine cache layer.
+
+=========  =============================================  ==================
+namespace  key                                            value
+=========  =============================================  ==================
+``fe``     (symbol-table sha, chunk sha, optimise flag)   pickled lowered
+                                                          :class:`IRFunction`
+                                                          + address-taken set
+``plan``   :func:`~repro.engine.invalidation.plan_key`    :class:`StoredPlan`
+``code``   (plan key, program array symbols)              (AsmFunction,
+                                                          preserved mask)
+=========  =============================================  ==================
+
+A full :class:`~repro.interproc.allocator.FnPlan` cannot cross a process
+boundary -- its :class:`AllocationResult` keys call-site clobber masks
+by ``id()`` of live instruction objects, which do not survive pickling.
+:class:`StoredPlan` is the cross-process residue: exactly the fields
+downstream consumers other than :func:`generate_function` read (the
+closed summary for dependants' plan keys, the save sets for cache
+fingerprints, the parameter homes for reports).  A ``StoredPlan`` is
+therefore only usable when the matching ``code`` artifact is also
+available; the engine enforces that pairing at lookup time and replans
+from scratch if the pairing ever breaks mid-session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.interproc.allocator import FnPlan
+    from repro.interproc.summaries import ParamSpec, ProcSummary
+    from repro.shrinkwrap.placement import WrapPlacement
+    from repro.target.registers import Register
+
+
+@dataclass
+class StoredPlan:
+    """The serialisable residue of one procedure's :class:`FnPlan`."""
+
+    name: str
+    mode: str                       # 'intra' | 'open' | 'closed'
+    entry_exit_saves: List["Register"] = field(default_factory=list)
+    wrapped: Dict[int, "WrapPlacement"] = field(default_factory=dict)
+    incoming_params: List["ParamSpec"] = field(default_factory=list)
+    summary: Optional["ProcSummary"] = None
+    #: a restored plan carries no allocation; codegen must never run on it
+    alloc: None = None
+    shrink_stats: None = None
+
+    @property
+    def saved_mask(self) -> int:
+        m = 0
+        for r in self.entry_exit_saves:
+            m |= 1 << r.index
+        for idx in self.wrapped:
+            m |= 1 << idx
+        return m
+
+    @classmethod
+    def from_plan(cls, plan: "FnPlan") -> "StoredPlan":
+        return cls(
+            name=plan.name,
+            mode=plan.mode,
+            entry_exit_saves=list(plan.entry_exit_saves),
+            wrapped=dict(plan.wrapped),
+            incoming_params=list(plan.incoming_params),
+            summary=plan.summary,
+        )

@@ -1,0 +1,432 @@
+"""Sharded, checksummed, content-addressed on-disk artifact store.
+
+Layout (``shards`` fixed at 256)::
+
+    <root>/
+      store.json          # {"version": 1, "shards": 256}
+      .lock               # advisory lock (gc/verify only)
+      00/ .. ff/          # key-prefix shards, created lazily
+        <digest>.blob     # one entry
+
+A key is ``(namespace, engine cache key)`` where the engine key is a
+nested tuple of primitives (content fingerprints, option fingerprints,
+summary signatures -- see :mod:`repro.engine.fingerprint`).  The key is
+reduced to a SHA-256 digest of a canonical recursive encoding, so two
+processes computing the same fingerprints address the same entry; the
+first two hex digits pick the shard.
+
+An entry file is ``MAGIC + sha256(payload) + payload`` with the payload
+a pickle of the artifact.  Writes go to a temporary file in the shard
+directory and are published with ``os.replace`` -- readers see either
+the old complete entry or the new complete entry, never a torn write,
+which is the whole concurrency model for readers and writers (no locks;
+last writer of identical content wins).  Reads recompute the checksum
+and treat any mismatch or unpickling failure as corruption: the entry
+is unlinked, counted, and the caller sees a miss -- the same
+detect-invalidate-recompute policy as the in-memory
+:class:`~repro.engine.resilience.GuardedCache`.
+
+Garbage collection is LRU by file mtime (a hit bumps the entry's mtime)
+under a best-effort advisory lock; a stale lock older than
+``stale_lock_seconds`` is broken, and a lock that cannot be acquired
+within ``lock_timeout`` raises :class:`StoreLockTimeout`.
+
+Fault-injection sites (:mod:`repro.faults`): ``store-read`` bit-rots a
+payload before the checksum verifies it, ``store-write`` fails a write
+(swallowed: the artifact is simply not cached), ``store-lock`` delays or
+fails lock acquisition.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro import faults
+
+MAGIC = b"repro-store:1\n"
+STORE_VERSION = 1
+SHARDS = 256
+
+#: store key namespaces (one per engine cache layer)
+NS_FRONTEND = "fe"
+NS_PLAN = "plan"
+NS_CODEGEN = "code"
+
+
+class StoreError(RuntimeError):
+    """A store operation failed in a way the caller must see."""
+
+
+class StoreLockTimeout(StoreError):
+    """The advisory lock could not be acquired within the timeout."""
+
+
+# -- canonical key encoding --------------------------------------------------
+
+def _encode_key(value, out: List[bytes]) -> None:
+    """Canonical, process-independent encoding of an engine cache key.
+
+    Only the types that actually occur in engine keys are accepted;
+    anything else is a programming error, not data to be hashed on a
+    best-effort basis.  Exact-type dispatch keeps ``bool`` (whose type
+    is not ``int``) distinct from ``int`` and is what makes this hot
+    path cheap; the ``isinstance`` tail readmits well-behaved
+    subclasses.
+    """
+    t = type(value)
+    if t is str:
+        raw = value.encode("utf-8")
+        out.append(b"s%d:%s" % (len(raw), raw))
+    elif t is int:
+        out.append(b"i%d;" % value)
+    elif t is tuple or t is list:
+        out.append(b"(")
+        for item in value:
+            _encode_key(item, out)
+        out.append(b")")
+    elif value is None:
+        out.append(b"N")
+    elif t is bool:
+        out.append(b"T" if value else b"F")
+    elif t is bytes:
+        out.append(b"b%d:%s" % (len(value), value))
+    elif isinstance(value, bool):
+        out.append(b"T" if value else b"F")
+    elif isinstance(value, int):
+        out.append(b"i%d;" % value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(b"s%d:%s" % (len(raw), raw))
+    elif isinstance(value, bytes):
+        out.append(b"b%d:%s" % (len(value), bytes(value)))
+    elif isinstance(value, (tuple, list)):
+        out.append(b"(")
+        for item in value:
+            _encode_key(item, out)
+        out.append(b")")
+    else:
+        raise TypeError(
+            f"store keys must be built from primitives, got {value!r}"
+        )
+
+
+def key_digest(namespace: str, key) -> str:
+    """SHA-256 hex digest addressing ``key`` within ``namespace``."""
+    out: List[bytes] = []
+    _encode_key((namespace, key), out)
+    return hashlib.sha256(b"".join(out)).hexdigest()
+
+
+# -- counters ----------------------------------------------------------------
+
+@dataclass
+class StoreStats:
+    """Cumulative counters for one :class:`ArtifactStore` handle."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    write_failures: int = 0
+    corruptions: int = 0
+    evictions: int = 0
+    lock_timeouts: int = 0
+    seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, Union[int, float]]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "write_failures": self.write_failures,
+            "corruptions": self.corruptions,
+            "evictions": self.evictions,
+            "lock_timeouts": self.lock_timeouts,
+            "seconds": round(self.seconds, 6),
+        }
+
+
+class ArtifactStore:
+    """One process's handle on a shared on-disk store.
+
+    Handles are cheap; any number of processes (and threads within one
+    process) may point at the same root concurrently.  Counters are per
+    handle, the data is shared.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        lock_timeout: float = 10.0,
+        stale_lock_seconds: float = 60.0,
+    ):
+        self.root = Path(root)
+        self.lock_timeout = lock_timeout
+        self.stale_lock_seconds = stale_lock_seconds
+        self.stats = StoreStats()
+        self._lock = threading.Lock()
+        self.root.mkdir(parents=True, exist_ok=True)
+        meta = self.root / "store.json"
+        if not meta.exists():
+            tmp = meta.with_suffix(".json.tmp%d" % os.getpid())
+            tmp.write_text(
+                '{"version": %d, "shards": %d}\n' % (STORE_VERSION, SHARDS)
+            )
+            os.replace(tmp, meta)
+
+    # -- addressing ----------------------------------------------------------
+
+    def _path(self, namespace: str, key) -> str:
+        digest = key_digest(namespace, key)
+        return os.path.join(str(self.root), digest[:2], digest + ".blob")
+
+    # -- entry I/O -----------------------------------------------------------
+
+    def get(self, namespace: str, key):
+        """Checksummed read; ``None`` on miss or detected corruption."""
+        t0 = time.perf_counter()
+        path = self._path(namespace, key)
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except OSError:
+            self._count("misses", t0)
+            return None
+        if faults.corrupts(faults.SITE_STORE_READ, namespace):
+            blob = blob[:-1] + bytes([blob[-1] ^ 0xFF]) if blob else b"\xff"
+        value = self._decode(blob)
+        if value is _BAD:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            with self._lock:
+                self.stats.corruptions += 1
+            self._count("misses", t0)
+            return None
+        try:
+            os.utime(path, None)  # LRU touch
+        except OSError:
+            pass
+        self._count("hits", t0)
+        return value
+
+    def put(self, namespace: str, key, value) -> bool:
+        """Atomic write-rename; failures are counted, never raised."""
+        t0 = time.perf_counter()
+        path = self._path(namespace, key)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+        shard = os.path.dirname(path)
+        try:
+            faults.check(faults.SITE_STORE_WRITE, namespace)
+            os.makedirs(shard, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=shard, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(MAGIC)
+                    fh.write(digest)
+                    fh.write(b"\n")
+                    fh.write(payload)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            self._count("write_failures", t0)
+            return False
+        self._count("writes", t0)
+        return True
+
+    @staticmethod
+    def _decode(blob: bytes):
+        if not blob.startswith(MAGIC):
+            return _BAD
+        head = blob[len(MAGIC):]
+        nl = head.find(b"\n")
+        if nl != 64:
+            return _BAD
+        digest, payload = head[:64], head[nl + 1:]
+        if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+            return _BAD
+        try:
+            return pickle.loads(payload)
+        except Exception:
+            return _BAD
+
+    def _count(self, counter: str, t0: float) -> None:
+        with self._lock:
+            setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+            self.stats.seconds += time.perf_counter() - t0
+
+    # -- maintenance ---------------------------------------------------------
+
+    def _entries(self) -> Iterator[Path]:
+        for shard in sorted(self.root.iterdir()):
+            if shard.is_dir() and len(shard.name) == 2:
+                for blob in sorted(shard.glob("*.blob")):
+                    yield blob
+
+    def entry_count(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def size_bytes(self) -> int:
+        total = 0
+        for blob in self._entries():
+            try:
+                total += blob.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def summary(self) -> Dict:
+        """Stats for the CLI: layout plus this handle's counters."""
+        shards = [
+            s for s in self.root.iterdir()
+            if s.is_dir() and len(s.name) == 2
+        ]
+        return {
+            "root": str(self.root),
+            "version": STORE_VERSION,
+            "entries": self.entry_count(),
+            "bytes": self.size_bytes(),
+            "shards_used": len(shards),
+            "counters": self.stats.to_dict(),
+        }
+
+    def _acquire_lock(self) -> Path:
+        """Advisory lock for gc/verify (entry I/O is lock-free)."""
+        lock = self.root / ".lock"
+        deadline = time.monotonic() + self.lock_timeout
+        while True:
+            faults.check(faults.SITE_STORE_LOCK, None)
+            try:
+                fd = os.open(str(lock), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.write(fd, str(os.getpid()).encode("ascii"))
+                os.close(fd)
+                return lock
+            except FileExistsError:
+                try:
+                    age = time.time() - lock.stat().st_mtime
+                except OSError:
+                    continue  # holder released it between open and stat
+                if age > self.stale_lock_seconds:
+                    try:
+                        lock.unlink()
+                    except OSError:
+                        pass
+                    continue
+            if time.monotonic() >= deadline:
+                with self._lock:
+                    self.stats.lock_timeouts += 1
+                raise StoreLockTimeout(
+                    f"could not acquire {lock} within "
+                    f"{self.lock_timeout:.1f}s"
+                )
+            time.sleep(0.02)
+
+    def gc(self, max_bytes: int) -> Dict:
+        """Evict least-recently-used entries until the store fits
+        ``max_bytes``.  Returns an eviction report."""
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        lock = self._acquire_lock()
+        try:
+            stats: List[Tuple[float, int, Path]] = []
+            for blob in self._entries():
+                try:
+                    st = blob.stat()
+                except OSError:
+                    continue
+                stats.append((st.st_mtime, st.st_size, blob))
+            total = sum(size for _, size, _ in stats)
+            evicted = 0
+            freed = 0
+            # oldest first
+            for _, size, blob in sorted(stats, key=lambda t: t[0]):
+                if total - freed <= max_bytes:
+                    break
+                try:
+                    blob.unlink()
+                except OSError:
+                    continue
+                freed += size
+                evicted += 1
+            with self._lock:
+                self.stats.evictions += evicted
+            return {
+                "max_bytes": max_bytes,
+                "before_bytes": total,
+                "after_bytes": total - freed,
+                "evicted": evicted,
+            }
+        finally:
+            try:
+                lock.unlink()
+            except OSError:
+                pass
+
+    def verify(self, remove: bool = True) -> Dict:
+        """Re-checksum every entry; optionally unlink corrupt ones."""
+        lock = self._acquire_lock()
+        try:
+            checked = 0
+            corrupt: List[str] = []
+            for blob in self._entries():
+                try:
+                    data = blob.read_bytes()
+                except OSError:
+                    continue
+                checked += 1
+                if self._decode(data) is _BAD:
+                    corrupt.append(blob.name)
+                    if remove:
+                        try:
+                            blob.unlink()
+                        except OSError:
+                            pass
+            if corrupt:
+                with self._lock:
+                    self.stats.corruptions += len(corrupt)
+            return {
+                "checked": checked,
+                "corrupt": len(corrupt),
+                "removed": len(corrupt) if remove else 0,
+                "corrupt_entries": corrupt,
+            }
+        finally:
+            try:
+                lock.unlink()
+            except OSError:
+                pass
+
+
+class _Bad:
+    """Sentinel for an undecodable entry (never a legal stored value)."""
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return "<corrupt store entry>"
+
+
+_BAD = _Bad()
+
+
+def open_store(
+    path: Optional[Union[str, Path]], **kwargs
+) -> Optional[ArtifactStore]:
+    """``None``-propagating constructor used by the session APIs."""
+    if path is None:
+        return None
+    if isinstance(path, ArtifactStore):
+        return path
+    return ArtifactStore(path, **kwargs)

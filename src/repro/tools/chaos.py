@@ -27,6 +27,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
+from pathlib import Path
 from typing import List, Optional
 
 from repro import faults
@@ -35,6 +37,7 @@ from repro.benchsuite.registry import load_benchmarks
 from repro.engine.session import Compiler
 from repro.pipeline.driver import _reference_compile_program
 from repro.pipeline.options import PAPER_CONFIGS
+from repro.store.store import ArtifactStore, StoreLockTimeout
 
 #: the acceptance stages: one injected failure in each must be survived
 CHAOS_SITES = (
@@ -139,6 +142,147 @@ def run_chaos(seed: int, config: str, names: Optional[List[str]] = None,
     return violations
 
 
+def run_store_chaos(seed: int, config: str,
+                    names: Optional[List[str]] = None,
+                    verbose: bool = True) -> List[str]:
+    """Chaos sweep over the artifact store's fault sites.
+
+    The store's contract is stronger than the resilience layer's: store
+    faults must be **completely invisible** -- every build, cold or
+    warm, faulted or not, is bit-identical to a storeless reference
+    compile, because the store may only ever skip work, never change it.
+
+    Three phases:
+
+    1. **cold + failed writes** -- ``store-write`` raises; artifacts
+       simply are not cached, the build must match the reference;
+    2. **warm + corrupted reads** -- a fresh session over the now-warm
+       store with ``store-read`` bit-rotting payloads; checksums must
+       detect every corruption and fall back to recomputation;
+    3. **maintenance locking** -- a held lock times out ``gc`` with
+       :class:`StoreLockTimeout` (counted, not hung), and a ``hang``
+       fault at the lock site merely delays ``verify``.
+    """
+    options = PAPER_CONFIGS[config]
+    benches = load_benchmarks()
+    selected = list(names) if names else list(benches)
+    violations: List[str] = []
+
+    with tempfile.TemporaryDirectory(prefix="repro-store-chaos-") as tmp:
+        refs = {}
+        for name in selected:
+            refs[name] = _reference_compile_program(
+                benches[name].source, options
+            )
+
+        # phase 1: cold compiles while every write fails
+        write_plan = faults.FaultPlan(specs=[
+            faults.FaultSpec(site=faults.SITE_STORE_WRITE, kind="raise",
+                             count=None),
+        ])
+        cold = Compiler(options, store_path=tmp)
+        try:
+            with faults.active(write_plan):
+                for name in selected:
+                    built = Compiler(options, store_path=cold.store) \
+                        .add_sources(benches[name].source).compile()
+                    if _snapshot(built.executable) != \
+                            _snapshot(refs[name].executable):
+                        violations.append(
+                            f"{name}: build under failed store writes is "
+                            "not bit-identical to the reference"
+                        )
+        except Exception as exc:
+            violations.append(
+                f"store write phase: unhandled exception {exc!r}"
+            )
+        if cold.store.stats.write_failures == 0:
+            violations.append(
+                "store write phase: no write fault fired (site unwired?)"
+            )
+        if verbose:
+            print(f"store-write  failures="
+                  f"{cold.store.stats.write_failures} ok="
+                  f"{not violations}")
+
+        # warm the store for real (no faults), then corrupt its reads
+        warm = Compiler(options, store_path=tmp)
+        for name in selected:
+            Compiler(options, store_path=warm.store) \
+                .add_sources(benches[name].source).compile()
+
+        read_plan = faults.FaultPlan(specs=[
+            faults.FaultSpec(site=faults.SITE_STORE_READ, kind="corrupt",
+                             count=2 + (seed % 3)),
+        ])
+        fresh = Compiler(options, store_path=tmp)
+        try:
+            with faults.active(read_plan):
+                for name in selected:
+                    built = Compiler(options, store_path=fresh.store) \
+                        .add_sources(benches[name].source).compile()
+                    if _snapshot(built.executable) != \
+                            _snapshot(refs[name].executable):
+                        violations.append(
+                            f"{name}: warm build under corrupted store "
+                            "reads is not bit-identical to the reference"
+                        )
+        except Exception as exc:
+            violations.append(
+                f"store read phase: unhandled exception {exc!r}"
+            )
+        fired = len(read_plan.fired)
+        detected = fresh.store.stats.corruptions
+        if fired and detected < fired:
+            violations.append(
+                f"store read phase: {fired} corruptions injected but only "
+                f"{detected} detected"
+            )
+        if verbose:
+            print(f"store-read   injected={fired} detected={detected}")
+
+        # phase 3: lock contention (held lock -> timeout; hang -> delay)
+        store = ArtifactStore(tmp, lock_timeout=0.2)
+        lockfile = Path(tmp) / ".lock"
+        lockfile.write_text("held")
+        try:
+            store.gc(max_bytes=0)
+            violations.append(
+                "store lock phase: gc under a held lock did not time out"
+            )
+        except StoreLockTimeout:
+            pass
+        except Exception as exc:
+            violations.append(
+                f"store lock phase: unexpected exception {exc!r}"
+            )
+        finally:
+            lockfile.unlink()
+        hang_plan = faults.FaultPlan(specs=[
+            faults.FaultSpec(site=faults.SITE_STORE_LOCK, kind="hang",
+                             hang_seconds=0.05, count=1),
+        ])
+        try:
+            with faults.active(hang_plan):
+                report = ArtifactStore(tmp).verify(remove=False)
+            if report["corrupt"]:
+                violations.append(
+                    f"store lock phase: verify found stale corruption "
+                    f"{report['corrupt_entries']}"
+                )
+        except Exception as exc:
+            violations.append(
+                f"store lock phase: verify under hang raised {exc!r}"
+            )
+        if verbose:
+            print(f"store-lock   timeouts={store.stats.lock_timeouts} "
+                  f"hangs={len(hang_plan.fired)}")
+
+    if verbose:
+        print(f"store total: {len(violations)} violations")
+    return violations
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="run the benchmark suite under seeded fault injection"
@@ -148,8 +292,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                         choices=sorted(PAPER_CONFIGS))
     parser.add_argument("--names", nargs="*", default=None,
                         help="benchmarks to run (default: all)")
+    parser.add_argument("--store", action="store_true",
+                        help="run the artifact-store chaos phases instead "
+                             "of the toolchain sweep")
     args = parser.parse_args(argv)
-    violations = run_chaos(args.seed, args.config, args.names)
+    if args.store:
+        violations = run_store_chaos(args.seed, args.config, args.names)
+    else:
+        violations = run_chaos(args.seed, args.config, args.names)
     for v in violations:
         print(f"VIOLATION: {v}", file=sys.stderr)
     return 1 if violations else 0

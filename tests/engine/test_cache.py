@@ -96,7 +96,9 @@ def test_stats_json_round_trip(tmp_path):
     assert payload["compiles"] == 2
     assert payload["invalidation_cascades"][0] == 5
     assert payload["invalidation_cascades"][1] >= 1
-    assert set(payload["stages"]) == {"frontend", "plan", "codegen", "link"}
+    assert set(payload["stages"]) == {
+        "frontend", "plan", "codegen", "link", "store",
+    }
     out = tmp_path / "stats.json"
     session.stats.write_json(out)
     assert json.loads(out.read_text()) == payload

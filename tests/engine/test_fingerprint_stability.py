@@ -1,0 +1,107 @@
+"""Fingerprints must be identical across OS processes.
+
+Every store key is built from :mod:`repro.engine.fingerprint` digests;
+if any of them depended on process state (``id()``, ``hash()``
+randomisation, dict order), a second process would silently miss every
+warm entry.  This spawns real subprocesses and asserts the full digest
+stack -- source text, options, lowered IR functions, and final plan
+keys -- matches across them, under all six paper configurations.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = """
+var g = 2;
+array buf[8];
+func leaf(a) { return a + g; }
+func mid(a, b) {
+    if (a > b) { return leaf(a) - b; }
+    buf[a] = b;
+    return leaf(b) + buf[a];
+}
+func main() { print mid(3, 1) + mid(1, 3); return 0; }
+"""
+
+#: executed verbatim both in this process (via exec, SOURCE preset) and
+#: in child processes (via -c, SOURCE read from stdin), so parent and
+#: child compute the digests with the same code
+_SCRIPT = """
+import json, sys
+from repro.engine.core import Engine
+from repro.engine.fingerprint import (
+    function_fingerprint, options_fingerprint, text_digest,
+)
+from repro.pipeline.options import PAPER_CONFIGS
+from repro.store.store import key_digest
+
+if "SOURCE" not in globals():
+    SOURCE = sys.stdin.read()
+out = {"text": text_digest(SOURCE), "configs": {}}
+for config in sorted(PAPER_CONFIGS):
+    options = PAPER_CONFIGS[config]
+    engine = Engine(options)
+    program = engine.compile(SOURCE)
+    out["configs"][config] = {
+        "options": options_fingerprint(options),
+        "functions": {
+            name: function_fingerprint(fn)
+            for name, fn in program.ir.functions.items()
+        },
+        "plan_keys": {
+            name: key_digest("plan", key)
+            for name, key in engine._last_keys.items()
+        },
+    }
+if __name__ == "__child__":
+    json.dump(out, sys.stdout, sort_keys=True)
+"""
+
+
+def _digests_in_subprocess() -> dict:
+    src_root = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src_root)] + [p for p in
+                           env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
+    # fresh hash randomisation per process: a hash()-dependent digest
+    # cannot pass this test across runs
+    env.pop("PYTHONHASHSEED", None)
+    script = '__name__ = "__child__"\n' + _SCRIPT
+    proc = subprocess.run(
+        [sys.executable, "-c", script], input=SRC,
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def _digests_in_this_process() -> dict:
+    scope = {"SOURCE": SRC}
+    exec(compile(_SCRIPT, "<parent>", "exec"), scope)
+    # round-trip through JSON so the comparison sees what a child emits
+    return json.loads(json.dumps(scope["out"], sort_keys=True))
+
+
+def test_two_subprocesses_agree():
+    a = _digests_in_subprocess()
+    b = _digests_in_subprocess()
+    assert a == b
+    assert set(a["configs"]) == set("ABCDE") | {"base"}
+    for payload in a["configs"].values():
+        assert set(payload["functions"]) == {"leaf", "mid", "main"}
+        assert set(payload["plan_keys"]) == {"leaf", "mid", "main"}
+
+
+def test_parent_process_matches_subprocess():
+    assert _digests_in_this_process() == _digests_in_subprocess()
+
+
+def test_configs_have_distinct_option_digests():
+    here = _digests_in_this_process()
+    digests = [p["options"] for p in here["configs"].values()]
+    assert len(set(digests)) == len(digests)

@@ -1,0 +1,154 @@
+"""CompileService: single-flight dedup, batching, per-request stats."""
+
+import asyncio
+
+import pytest
+
+from repro.frontend.errors import OptionsError
+from repro.pipeline.options import O2, O3_SW
+from repro.service import CompileService
+from repro.tools.warmstart import executable_digest
+
+SRC = """
+var g = 3;
+func leaf(a) {{ return a + g; }}
+func mid(a) {{ return leaf(a) * 2; }}
+func main() {{ print mid({n}) + leaf(1); return 0; }}
+"""
+
+
+def go(coro):
+    return asyncio.run(coro)
+
+
+def test_single_flight_dedup(tmp_path):
+    async def scenario():
+        svc = CompileService(O3_SW, store_path=tmp_path)
+        src = SRC.format(n=5)
+        results = await asyncio.gather(
+            *(svc.compile(src) for _ in range(6))
+        )
+        return svc, results
+
+    svc, results = go(scenario())
+    outputs = {tuple(r.program.run().output) for r in results}
+    assert outputs == {(20,)}
+    assert {r.fingerprint for r in results} == {results[0].fingerprint}
+    deduped = [r for r in results if r.deduped]
+    assert len(deduped) == 5            # one flight served all six
+    assert svc.stats.requests == 6
+    assert svc.stats.deduped == 5
+    assert svc.stats.compiled == 1
+    # all six share the very same program object: one compile happened
+    assert len({id(r.program) for r in results}) == 1
+
+
+def test_batching_merges_distinct_requests():
+    async def scenario():
+        svc = CompileService(O2, batch_window=0.02)
+        sources = [SRC.format(n=n) for n in range(4)]
+        results = await asyncio.gather(
+            *(svc.compile(s) for s in sources)
+        )
+        return svc, results
+
+    svc, results = go(scenario())
+    assert [r.program.run().output for r in results] == \
+        [[10], [12], [14], [16]]
+    assert svc.stats.batches == 1       # one window caught all four
+    assert svc.stats.compiled == 4
+    assert svc.stats.deduped == 0
+    # per-request records with real stage data
+    assert all(r.record is not None for r in results)
+    assert all(r.record.functions == 3 for r in results)
+
+
+def test_batched_output_matches_individual():
+    from repro.engine.core import Engine
+
+    sources = [SRC.format(n=n) for n in range(3)]
+
+    async def scenario():
+        svc = CompileService(O3_SW)
+        return await asyncio.gather(*(svc.compile(s) for s in sources))
+
+    results = go(scenario())
+    for src, res in zip(sources, results):
+        solo = Engine(O3_SW).compile(src)
+        assert executable_digest(res.program.executable) == \
+            executable_digest(solo.executable)
+
+
+def test_requests_with_different_options_not_merged():
+    async def scenario():
+        svc = CompileService(O2)
+        src = SRC.format(n=5)
+        r2, r3 = await asyncio.gather(
+            svc.compile(src, O2), svc.compile(src, O3_SW)
+        )
+        return svc, r2, r3
+
+    svc, r2, r3 = go(scenario())
+    assert r2.fingerprint != r3.fingerprint
+    assert r2.program.options.opt_level == 2
+    assert r3.program.options.opt_level == 3
+    assert r2.program.run().output == r3.program.run().output == [20]
+
+
+def test_error_isolated_to_its_request():
+    async def scenario():
+        svc = CompileService(O2)
+        good = svc.compile(SRC.format(n=5))
+        bad = svc.compile("func notmain() { return 1; }")
+        results = await asyncio.gather(good, bad, return_exceptions=True)
+        return svc, results
+
+    svc, (good, bad) = go(scenario())
+    assert good.program.run().output == [20]
+    assert isinstance(bad, OptionsError)
+    assert svc.stats.compiled == 1
+    assert svc.stats.failed == 1
+
+
+def test_store_counters_surface_in_results(tmp_path):
+    async def scenario():
+        svc = CompileService(O3_SW, store_path=tmp_path)
+        first = await svc.compile(SRC.format(n=5))
+        # a later identical request re-enters through the caches (the
+        # flight has landed) -- still correct, not an error
+        second = await svc.compile(SRC.format(n=5))
+        return svc, first, second
+
+    svc, first, second = go(scenario())
+    assert first.store is not None
+    assert first.store["writes"] > 0
+    assert second.store["writes"] >= first.store["writes"]
+    assert not second.deduped            # sequential, not concurrent
+    assert svc.store_counters()["corruptions"] == 0
+    assert executable_digest(first.program.executable) == \
+        executable_digest(second.program.executable)
+
+
+def test_service_run_and_join():
+    async def scenario():
+        svc = CompileService(O2)
+        stats = await svc.run(SRC.format(n=5))
+        await svc.join()
+        return stats
+
+    stats = go(scenario())
+    assert stats.output == [20]
+
+
+def test_sequential_requests_restart_the_drain_loop():
+    async def scenario():
+        svc = CompileService(O2, batch_window=0.001)
+        a = await svc.compile(SRC.format(n=1))
+        await asyncio.sleep(0.02)        # drain loop exits when idle
+        b = await svc.compile(SRC.format(n=2))
+        return svc, a, b
+
+    svc, a, b = go(scenario())
+    assert a.program.run().output == [12]
+    assert b.program.run().output == [14]
+    assert svc.stats.batches == 2

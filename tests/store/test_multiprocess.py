@@ -1,0 +1,72 @@
+"""Two processes, one store, same suite, at the same time.
+
+:func:`repro.tools.warmstart.compile_suite` is the worker body (it is
+importable by the pool workers); both workers compile the same suite
+slice against one store directory concurrently.  The store's lock-free
+write-rename protocol must keep every entry intact (no torn or corrupt
+reads), and both processes must produce bit-identical executables.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.engine.core import Engine
+from repro.pipeline.options import PAPER_CONFIGS
+from repro.store.store import ArtifactStore
+from repro.tools.warmstart import compile_suite, executable_digest
+
+NAMES = ["nim", "map"]
+CONFIGS = ["base", "C"]
+
+
+def test_concurrent_workers_share_one_store(tmp_path):
+    store = str(tmp_path / "store")
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [
+            pool.submit(compile_suite, store, CONFIGS, NAMES)
+            for _ in range(2)
+        ]
+        a, b = [f.result(timeout=300) for f in futures]
+
+    # bit-identical executables from both workers
+    assert a["digests"] == b["digests"]
+    # neither worker saw a corrupt entry
+    assert a["store"]["corruptions"] == 0
+    assert b["store"]["corruptions"] == 0
+    # content addressing deduplicates on disk: the second writer of a
+    # key overwrites identical bytes, so the store holds ONE suite's
+    # entries, not two
+    solo = str(tmp_path / "solo")
+    ref = compile_suite(solo, CONFIGS, NAMES)
+    assert ArtifactStore(store).entry_count() == \
+        ArtifactStore(solo).entry_count()
+    # and matches a single-process reference build bit for bit
+    assert a["digests"] == ref["digests"]
+    # duplicate recompute is bounded by single-flight races: combined
+    # plan misses can never exceed two full cold suites
+    combined = a["stages"]["plan"]["misses"] + b["stages"]["plan"]["misses"]
+    assert combined <= 2 * ref["stages"]["plan"]["misses"]
+    # the store is clean afterwards
+    assert ArtifactStore(store).verify(remove=False)["corrupt"] == 0
+
+
+def test_warm_third_process_after_concurrent_writers(tmp_path):
+    store = str(tmp_path / "store")
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [
+            pool.submit(compile_suite, store, CONFIGS, NAMES)
+            for _ in range(2)
+        ]
+        a, _ = [f.result(timeout=300) for f in futures]
+
+    # a fresh "process" (fresh engine, no memory caches) warm-starts
+    from repro.benchsuite.registry import load_benchmarks
+
+    benches = load_benchmarks()
+    for config in CONFIGS:
+        engine = Engine(PAPER_CONFIGS[config], store_path=store)
+        for name in NAMES:
+            built = engine.compile(benches[name].source)
+            assert executable_digest(built.executable) == \
+                a["digests"][f"{name}:{config}"]
+        rec = engine.stats.records[-1]
+        assert rec.stages["plan"].misses == 0
