@@ -6,9 +6,9 @@ For every benchmark-suite program this measures
 * ``compile_s`` -- wall-clock seconds for the full pipeline (parse,
   lower, allocate at O3_SW, codegen, link),
 * ``sim`` -- simulated machine cycles retired per wall-clock second on
-  *both* simulator tiers (the reference interpreter and the
-  block-translating JIT), with the two tiers' RunStats asserted
-  bit-identical on every program,
+  *all three* simulator tiers (the reference interpreter, the
+  block-translating JIT, and the profile-guided tier-3 trace JIT),
+  with every tier's RunStats asserted bit-identical on every program,
 * ``parallel_suite`` -- wall-clock for a baseline-vs-C suite sweep, run
   serially on the interpreter and fanned out over a process pool on the
   JIT tier, with identical statistics required from both, and
@@ -55,6 +55,7 @@ from repro import Compiler
 from repro.benchsuite import benchmark_names, load_benchmarks, run_suite
 from repro.engine.frontend import split_chunks
 from repro.pipeline import O3_SW, compile_program
+from repro.pipeline.profile import block_profile_of
 
 RESULT_PATH = Path(__file__).resolve().parent / "BENCH_speed.json"
 STATS_PATH = Path(__file__).resolve().parent / "BENCH_engine_stats.json"
@@ -62,7 +63,7 @@ STATS_PATH = Path(__file__).resolve().parent / "BENCH_engine_stats.json"
 #: bump when scenarios are added/renamed; ``--check`` validates the
 #: checked-in baseline against this so a scenario cannot silently
 #: disappear from the record
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: every scenario key the baseline must carry at SCHEMA_VERSION
 REQUIRED_SCENARIOS = (
@@ -76,6 +77,11 @@ MIN_WARM_SPEEDUP = 3.0
 #: --check fails when the JIT tier's aggregate simulation throughput
 #: over the whole suite is below this multiple of the interpreter's
 MIN_SIM_SPEEDUP = 3.0
+
+#: --check fails when the tier-3 trace JIT's aggregate throughput is
+#: below this multiple of the interpreter's (target is 10x; 7x is the
+#: regression floor under CI jitter)
+MIN_SIM3_SPEEDUP = 7.0
 
 #: --check fails when a cold process with a warm disk store is not at
 #: least this much faster than a fully cold storeless compile of the
@@ -141,14 +147,21 @@ def bench_one(name: str, source: str, repeats: int) -> dict:
         dt = time.perf_counter() - t0
         best_compile = dt if best_compile is None else min(best_compile, dt)
 
-    # both tiers must retire the exact same execution
+    # all tiers must retire the exact same execution
     stats = program.run(sim_tier="interp")
     jit_stats = program.run(sim_tier="jit")  # also warms the translation
     if jit_stats != stats:
         raise AssertionError(f"{name}: JIT RunStats differ from interpreter")
+    block_profile_of(program)                # attaches; escalates "auto"
+    jit3_stats = program.run(sim_tier="jit3")  # warms the trace translation
+    if jit3_stats != stats:
+        raise AssertionError(
+            f"{name}: tier-3 RunStats differ from interpreter"
+        )
 
     best_interp = None
     best_jit = None
+    best_jit3 = None
     for _ in range(repeats):
         t0 = time.perf_counter()
         program.run(sim_tier="interp")
@@ -159,6 +172,11 @@ def bench_one(name: str, source: str, repeats: int) -> dict:
         program.run(sim_tier="jit")
         dt = time.perf_counter() - t0
         best_jit = dt if best_jit is None else min(best_jit, dt)
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        program.run(sim_tier="jit3")
+        dt = time.perf_counter() - t0
+        best_jit3 = dt if best_jit3 is None else min(best_jit3, dt)
 
     return {
         "compile_s": round(best_compile, 4),
@@ -166,11 +184,20 @@ def bench_one(name: str, source: str, repeats: int) -> dict:
         "instructions": stats.instructions,
         "sim_interp_s": round(best_interp, 4),
         "sim_jit_s": round(best_jit, 4),
+        "sim_jit3_s": round(best_jit3, 4),
         "interp_cycles_per_s": (
             int(stats.cycles / best_interp) if best_interp else 0
         ),
         "jit_cycles_per_s": int(stats.cycles / best_jit) if best_jit else 0,
+        "jit3_cycles_per_s": (
+            int(stats.cycles / best_jit3) if best_jit3 else 0
+        ),
         "jit_speedup": round(best_interp / best_jit, 2) if best_jit else 0.0,
+        "jit3_speedup": (
+            round(best_interp / best_jit3, 2) if best_jit3 else 0.0
+        ),
+        "jit3_inlined_calls": jit3_stats.jit3["inlined_calls"],
+        "jit3_linked_loops": jit3_stats.jit3["linked_loops"],
     }
 
 
@@ -302,8 +329,8 @@ def main(argv=None) -> int:
             f"{name:10s} compile {r['compile_s']:7.3f}s   "
             f"{r['cycles']:>10d} cycles   "
             f"interp {r['interp_cycles_per_s']:>12,d} c/s   "
-            f"jit {r['jit_cycles_per_s']:>12,d} c/s   "
-            f"{r['jit_speedup']:5.2f}x"
+            f"jit {r['jit_speedup']:5.2f}x   "
+            f"jit3 {r['jit3_speedup']:5.2f}x"
         )
         if r["cycles"] <= 0 or r["interp_cycles_per_s"] <= 0:
             print(f"FAIL: {name} produced no simulated work", file=sys.stderr)
@@ -316,6 +343,9 @@ def main(argv=None) -> int:
             sum(r["sim_interp_s"] for r in results.values()), 4
         ),
         "sim_jit_s": round(sum(r["sim_jit_s"] for r in results.values()), 4),
+        "sim_jit3_s": round(
+            sum(r["sim_jit3_s"] for r in results.values()), 4
+        ),
     }
     total["interp_cycles_per_s"] = (
         int(total["cycles"] / total["sim_interp_s"])
@@ -324,21 +354,36 @@ def main(argv=None) -> int:
     total["jit_cycles_per_s"] = (
         int(total["cycles"] / total["sim_jit_s"]) if total["sim_jit_s"] else 0
     )
+    total["jit3_cycles_per_s"] = (
+        int(total["cycles"] / total["sim_jit3_s"])
+        if total["sim_jit3_s"] else 0
+    )
     total["jit_speedup"] = (
         round(total["sim_interp_s"] / total["sim_jit_s"], 2)
         if total["sim_jit_s"] else 0.0
+    )
+    total["jit3_speedup"] = (
+        round(total["sim_interp_s"] / total["sim_jit3_s"], 2)
+        if total["sim_jit3_s"] else 0.0
     )
     print(
         f"{'TOTAL':10s} compile {total['compile_s']:7.3f}s   "
         f"{total['cycles']:>10d} cycles   "
         f"interp {total['interp_cycles_per_s']:>12,d} c/s   "
-        f"jit {total['jit_cycles_per_s']:>12,d} c/s   "
-        f"{total['jit_speedup']:5.2f}x"
+        f"jit {total['jit_speedup']:5.2f}x   "
+        f"jit3 {total['jit3_speedup']:5.2f}x"
     )
     if total["jit_speedup"] < MIN_SIM_SPEEDUP:
         print(
             f"FAIL: aggregate JIT speedup {total['jit_speedup']}x is below "
             f"the {MIN_SIM_SPEEDUP}x regression floor",
+            file=sys.stderr,
+        )
+        return 1
+    if total["jit3_speedup"] < MIN_SIM3_SPEEDUP:
+        print(
+            f"FAIL: aggregate tier-3 speedup {total['jit3_speedup']}x is "
+            f"below the {MIN_SIM3_SPEEDUP}x regression floor",
             file=sys.stderr,
         )
         return 1

@@ -305,11 +305,14 @@ class Engine:
 
         with self.stats.timer(record, "link"):
             exe = link_executable([obj], entry=options.entry)
+        if self.store is not None:
+            # tier-3 JIT translations of this image round-trip here
+            exe._artifact_store = self.store
         record.functions = len(program.functions)
         self._finish_record(record, report)
         return CompiledProgram(
             executable=exe, ir=program, plan=plan, options=options,
-            report=report,
+            report=report, engine_stats=self.stats,
         )
 
     def compile_module(
@@ -426,11 +429,14 @@ class Engine:
                     )
                 with self.stats.timer(record, "link"):
                     exe = link_executable([obj], entry=options.entry)
+                if self.store is not None:
+                    exe._artifact_store = self.store
                 record.functions = len(program.functions)
                 self.stats.records.append(record)
                 self._finish_record(record, None)
                 results[i] = CompiledProgram(
                     executable=exe, ir=program, plan=plan, options=options,
+                    engine_stats=self.stats,
                 )
         except Exception:
             # the merged pass tripped (injected fault, store pairing

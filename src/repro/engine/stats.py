@@ -101,11 +101,18 @@ class EngineStats:
     """Aggregated observability across a session's compiles."""
 
     records: List[CompileRecord] = field(default_factory=list)
+    #: tier-3 JIT translation decision summaries, one per jit3 run of a
+    #: program this engine compiled (see :attr:`RunStats.jit3`)
+    jit3_runs: List[Dict] = field(default_factory=list)
 
     def begin(self, kind: str = "program") -> CompileRecord:
         record = CompileRecord(kind=kind)
         self.records.append(record)
         return record
+
+    def record_jit3(self, info: Dict) -> None:
+        """Record one tier-3 run's translation decisions."""
+        self.jit3_runs.append(dict(info))
 
     def timer(self, record: CompileRecord, stage: str) -> _StageTimer:
         return _StageTimer(record.stages[stage])
@@ -143,6 +150,7 @@ class EngineStats:
             "stages": {k: v.to_dict() for k, v in self.stage_totals().items()},
             "invalidation_cascades": self.cascade_sizes(),
             "faults": self.fault_totals(),
+            "jit3_runs": [dict(r) for r in self.jit3_runs],
             "records": [r.to_dict() for r in self.records],
         }
 

@@ -65,6 +65,7 @@ __all__ = [
     "SITE_CODEGEN",
     "SITE_COLORING",
     "SITE_JIT",
+    "SITE_JIT3",
     "SITE_PLAN",
     "SITE_SHRINKWRAP",
     "SITE_STORE_LOCK",
@@ -84,6 +85,8 @@ SITE_COLORING = "coloring"           # regalloc/coloring: allocate_function
 SITE_SHRINKWRAP = "shrinkwrap"       # shrinkwrap/placement: shrink_wrap
 SITE_WORKER = "worker"               # engine/scheduler: planner pool task
 SITE_JIT = "jit"                     # sim/jit: superblock translation
+SITE_JIT3 = "jit3"                   # sim/jit: tier-3 trace translation
+#                                      (keys: "translate"/"inline"/"link")
 SITE_SUITE_WORKER = "suite-worker"   # benchsuite/harness: suite pool cell
 SITE_STORE_READ = "store-read"       # store: entry payload read (corrupt)
 SITE_STORE_WRITE = "store-write"     # store: entry write (raise = I/O error)
@@ -98,6 +101,7 @@ ALL_SITES: Tuple[str, ...] = (
     SITE_SHRINKWRAP,
     SITE_WORKER,
     SITE_JIT,
+    SITE_JIT3,
     SITE_SUITE_WORKER,
     SITE_STORE_READ,
     SITE_STORE_WRITE,

@@ -60,14 +60,20 @@ class CompiledProgram:
     #: resilience outcome of the compile; ``None`` unless the program was
     #: built by a resilient session (``Compiler(resilient=True)``)
     report: Optional["CompileReport"] = None
+    #: the building engine's stats sink; tier-3 runs of this program
+    #: report their translation decisions into it
+    engine_stats: Optional[object] = None
 
     def run(self, **kwargs) -> RunStats:
         """Simulate the program; ``sim_tier`` selects the engine
-        ("auto" picks the block-translating tier unless contract
-        checking or block profiling needs the interpreter)."""
+        ("auto" picks a translated tier -- tier 3 when a profile is
+        attached -- unless contract checking or block profiling needs
+        the interpreter)."""
         stats = self.executable.run(**kwargs)
         if self.report is not None and getattr(stats, "sim_fallback", None):
             self.report.jit_fallbacks += 1
+        if self.engine_stats is not None and stats.jit3 is not None:
+            self.engine_stats.record_jit3(stats.jit3)
         return stats
 
 

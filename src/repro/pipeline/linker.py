@@ -13,6 +13,7 @@ Two layers, mirroring the paper's compilation setting (Section 7):
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -42,13 +43,32 @@ class Executable:
     def label_of_pc(self, pc: int) -> Optional[str]:
         return self.func_at_pc.get(pc)
 
+    def fingerprint(self) -> str:
+        """Stable content digest of the linked image (instructions,
+        entry, data image, preservation contracts) -- the executable
+        half of a tier-3 translation store key.  Cached: the image is
+        immutable once linked."""
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            parts = [repr(i) for i in self.instrs]
+            parts.append(f"entry={self.entry_pc}")
+            parts.append(f"data_size={self.data_size}")
+            parts.append(repr(sorted(self.data_init.items())))
+            parts.append(repr(sorted(self.preserved_masks.items())))
+            cached = hashlib.sha256(
+                "\n".join(parts).encode("utf-8")
+            ).hexdigest()
+            self._fingerprint = cached  # type: ignore[attr-defined]
+        return cached
+
     def run(self, **kwargs):
         """Execute the image and return its
         :class:`~repro.sim.stats.RunStats`.
 
         Accepts everything :func:`repro.sim.simulate` does, notably
-        ``sim_tier`` ("auto"/"interp"/"jit") selecting the simulator
-        tier.  Import is deferred: the simulator imports this module.
+        ``sim_tier`` ("auto"/"interp"/"jit"/"jit3") selecting the
+        simulator tier.  Import is deferred: the simulator imports
+        this module.
         """
         from repro.sim.jit import simulate
 

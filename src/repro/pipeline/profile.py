@@ -11,6 +11,15 @@ simulator increments a counter at every block-start pc), and the counts
 replace the static ``10^loop-depth`` weights in the priority function and
 in the shrink-wrap APP weighting, via ``CompilerOptions.block_weights``.
 
+The counts are carried in a :class:`BlockProfile` -- a plain-``dict``
+subclass (so it drops into ``block_weights`` unchanged) that also
+records the constant call arguments the interpreter observed (the tier-3
+JIT's specialization data source) and exposes a stable content digest,
+which keys tier-3 translation artifacts in the persistent store and lets
+tests reference a profile deterministically.  Profiling a program also
+*attaches* the profile to its executable, which is what escalates
+``sim_tier="auto"`` runs of that executable to the tier-3 JIT.
+
 Usage::
 
     profile = collect_block_profile(sources, options)
@@ -20,18 +29,103 @@ Usage::
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.pipeline.driver import CompiledProgram, compile_program, Source
+from repro.pipeline.linker import Executable
 from repro.pipeline.options import CompilerOptions, O2
 from repro.sim.simulator import run_program
 
 
+class BlockProfile(dict):
+    """``function -> {block name -> execution count}``, plus observed
+    constant call arguments, behind a stable content digest.
+
+    Subclasses ``dict`` so every existing ``block_weights`` consumer
+    (options validation, fingerprints, the allocator's priority
+    function) takes it unchanged.  ``call_args[fn]`` is a tuple with one
+    slot per argument register: the single constant value that register
+    held at every observed call of ``fn``, or ``None`` where the values
+    varied (or the function was never called).
+    """
+
+    def __init__(
+        self,
+        counts: Union[Dict[str, Dict[str, int]], Sequence] = (),
+        call_args: Optional[Dict[str, Tuple[Optional[int], ...]]] = None,
+    ):
+        super().__init__(counts)
+        self.call_args: Dict[str, Tuple[Optional[int], ...]] = {
+            fn: tuple(args) for fn, args in (call_args or {}).items()
+        }
+
+    def digest(self) -> str:
+        """SHA-256 over a canonical serialisation -- equal profiles get
+        equal digests regardless of insertion order or process."""
+        payload = json.dumps(
+            {
+                "counts": {
+                    fn: dict(sorted(blocks.items()))
+                    for fn, blocks in sorted(self.items())
+                },
+                "call_args": {
+                    fn: list(args)
+                    for fn, args in sorted(self.call_args.items())
+                },
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "counts": {fn: blocks for fn, blocks in self.items()},
+                "call_args": {
+                    fn: list(args) for fn, args in self.call_args.items()
+                },
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "BlockProfile":
+        data = json.loads(text)
+        return cls(
+            counts=data.get("counts", {}),
+            call_args={
+                fn: tuple(args)
+                for fn, args in data.get("call_args", {}).items()
+            },
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BlockProfile({dict.__repr__(self)}, "
+            f"call_args={self.call_args!r})"
+        )
+
+
+def attach_profile(
+    target: Union[CompiledProgram, Executable], profile: BlockProfile
+) -> None:
+    """Attach ``profile`` to an executable: ``sim_tier="auto"`` runs of
+    it then escalate to the tier-3 trace JIT (with the tier-2/interp
+    fallback ladder underneath)."""
+    exe = getattr(target, "executable", target)
+    exe._block_profile = profile  # type: ignore[attr-defined]
+
+
 def block_profile_of(
-    prog: CompiledProgram, **run_kwargs
-) -> Dict[str, Dict[str, int]]:
-    """Run ``prog`` once with block counting and return
-    ``function -> {block name -> execution count}``."""
+    prog: CompiledProgram, attach: bool = True, **run_kwargs
+) -> BlockProfile:
+    """Run ``prog`` once with block counting and call-argument
+    observation; returns the :class:`BlockProfile`, attached to the
+    program's executable (see :func:`attach_profile`) unless
+    ``attach=False``."""
     exe = prog.executable
     starts: Dict[int, int] = {}
     where: Dict[int, Tuple[str, str]] = {}
@@ -42,19 +136,28 @@ def block_profile_of(
         if fn in exe.func_entries:
             starts[pc] = 0
             where[pc] = (fn, block)
-    run_program(exe, block_counts=starts, **run_kwargs)
-    out: Dict[str, Dict[str, int]] = {}
+    observed: Dict[int, list] = {}
+    run_program(exe, block_counts=starts, call_args=observed, **run_kwargs)
+    counts: Dict[str, Dict[str, int]] = {}
     for pc, count in starts.items():
         fn, block = where[pc]
-        out.setdefault(fn, {})[block] = count
-    return out
+        counts.setdefault(fn, {})[block] = count
+    call_args = {
+        exe.func_at_pc[pc]: tuple(args)
+        for pc, args in observed.items()
+        if pc in exe.func_at_pc
+    }
+    profile = BlockProfile(counts, call_args)
+    if attach:
+        attach_profile(exe, profile)
+    return profile
 
 
 def collect_block_profile(
     sources: Union[Source, Sequence[Source]],
     options: CompilerOptions = O2,
     **run_kwargs,
-) -> Dict[str, Dict[str, int]]:
+) -> BlockProfile:
     """Compile at ``options`` (the training build) and profile one run."""
     return block_profile_of(compile_program(sources, options), **run_kwargs)
 

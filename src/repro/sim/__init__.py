@@ -1,15 +1,27 @@
 """Virtual-machine simulators and pixie-style statistics.
 
-Two execution tiers, selected by the ``sim_tier`` knob on
+Three execution tiers, selected by the ``sim_tier`` knob on
 :func:`simulate` (and on every ``RunStats``-producing entry point above
-it): the tier-1 reference interpreter (:func:`run_program`) and the
-tier-2 block-translating pixie-JIT (:func:`run_jit`).  Both produce
-bit-identical :class:`RunStats`; the interpreter additionally supports
-contract checking and block-count profiling, to which ``auto`` falls
-back.
+it): the tier-1 reference interpreter (:func:`run_program`), the
+tier-2 block-translating pixie-JIT (:func:`run_jit`), and the tier-3
+profile-guided trace JIT (:func:`run_jit3`) with cross-procedure
+inlining, loop linking and constant-argument specialization.  All
+tiers produce bit-identical :class:`RunStats`; the interpreter
+additionally supports contract checking and block-count profiling, to
+which ``auto`` falls back.  ``auto`` escalates to tier 3 when a
+block profile is attached to the executable, walking the
+jit3 -> jit -> interp ladder on translation failure.
 """
 
-from repro.sim.jit import JitProgram, run_jit, SIM_TIERS, simulate
+from repro.sim.jit import (
+    Jit3Options,
+    Jit3Program,
+    JitProgram,
+    run_jit,
+    run_jit3,
+    SIM_TIERS,
+    simulate,
+)
 from repro.sim.simulator import (
     ContractViolation,
     DEFAULT_MAX_CYCLES,
@@ -22,9 +34,12 @@ __all__ = [
     "ContractViolation",
     "DEFAULT_MAX_CYCLES",
     "DEFAULT_STACK_WORDS",
+    "Jit3Options",
+    "Jit3Program",
     "JitProgram",
     "run_program",
     "run_jit",
+    "run_jit3",
     "simulate",
     "SIM_TIERS",
     "RunStats",

@@ -55,9 +55,60 @@ Translation scheme
   on demand, so even a sabotaged executable that jumps mid-block still
   runs (or traps) exactly like the interpreter.
 
-The translation is cached on the executable next to ``_decoded``, keyed
-by ``(stack_words, max_cycles)`` since memory bounds and the budget are
-baked into the generated source as literals.
+Translations are cached on the executable next to ``_decoded``, keyed
+by tier plus everything baked into the generated source as literals
+(``stack_words`` and ``max_cycles`` give the memory bound and budget;
+the tier-3 key adds its options and profile digest), so tier-2 and
+tier-3 translations of one executable never collide.
+
+Tier-3: profile-guided trace translation
+----------------------------------------
+
+:class:`Jit3Program` (tier ``"jit3"``; tier ``"auto"`` escalates to it
+when a :class:`~repro.pipeline.profile.BlockProfile` is attached to the
+executable) extends the superblock scheme with three trace
+optimisations, all driven by interpreter profile data:
+
+* **Summary-driven call inlining** -- a JAL to a hot, small callee
+  continues translating *into* the callee instead of exiting, with the
+  return address tracked as a translation-time constant.  The paper's
+  register-usage summaries (via ``Executable.preserved_masks``) give
+  the cheap feasibility check: the callee subtree's destroyable
+  register set, unioned with the registers the trace already caches in
+  Python locals, must fit the trace-register cap -- Chow's "one word of
+  storage" reused as the inliner's gate.  A JR whose target is the
+  tracked constant return pc links straight back to the caller with
+  zero emitted code; an unproven JR emits a return-pc guard whose miss
+  arm is a full dynamic exit, so inlining is sound for *any* callee
+  behaviour (the summary is profitability, not correctness).  Indirect
+  calls (JALR) always bail out to a dynamic exit.
+* **Trace linking of loops** -- every tier-3 block body is emitted
+  inside ``while True:`` with all accessed registers hoisted into
+  Python locals once, up front; a backward edge targeting the block's
+  own start becomes bump-counter / budget-check / ``continue``, so loop
+  iterations never leave the translated function (no write-back,
+  re-dispatch and reload per iteration).  Every exit writes back the
+  block's full written set, which keeps the per-exit path-constant
+  statistics exact in the presence of re-entry.
+* **Constant-argument specialization** -- when the profile proves an
+  argument register held one constant at every observed call of a hot
+  function, the function-entry block is translated under that
+  assumption behind a cheap entry guard; the guard's miss arm
+  dispatches to an unspecialized twin translation.  Inside the
+  specialized body (and inside inlined callees fed constant arguments)
+  constant registers fold into literals and conditional branches on
+  them fold away.
+
+Budget-identity note: linked transfers (inlined JAL, linked JR, loop
+back-edge before the taken check) may skip interpreter budget-check
+points, which is unobservable for the same reason the tier-2 hoisting
+is -- every counted exit budget-checks, every trapping instruction is
+pre-guarded with its path-constant cycle prefix, and loop back-edges
+keep a per-iteration check.  Decisions and bailout counts surface in
+``RunStats.jit3``; whole-translation artifacts round-trip through the
+persistent artifact store keyed by (executable fingerprint, profile
+digest, sim parameters); any tier-3 translation failure falls back to
+tier-2 and ultimately the interpreter (the resilience ladder).
 
 The interpreter remains the retained reference oracle: contract checking
 and ``block_counts`` profiling are interpreter features, and
@@ -69,7 +120,8 @@ trap behaviour -- is enforced by the differential tests in
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro import faults
 from repro.ir.arith import MachineTrap, sdiv, srem
@@ -86,10 +138,25 @@ from repro.sim.simulator import (
     _KINDS, _LAT,
 )
 from repro.sim.stats import RunStats
+from repro.store.store import NS_JIT3
 from repro.target.isa import srl
-from repro.target.registers import NUM_REGISTERS, RA, SP
+from repro.target.registers import (
+    ALLOCATABLE_MASK,
+    NUM_REGISTERS,
+    PARAM_REGS,
+    RA,
+    SP,
+)
 
-__all__ = ["JitProgram", "run_jit", "simulate", "SIM_TIERS"]
+__all__ = [
+    "JitProgram",
+    "Jit3Options",
+    "Jit3Program",
+    "run_jit",
+    "run_jit3",
+    "simulate",
+    "SIM_TIERS",
+]
 
 #: binary ALU ops with a plain infix translation
 _INFIX = {
@@ -494,6 +561,783 @@ class JitProgram:
         return stats
 
 
+# ---------------------------------------------------------------------------
+# Tier 3: profile-guided trace translation
+# ---------------------------------------------------------------------------
+
+#: argument-register indices, in parameter order (specialization slots)
+_PARAM_IDX: Tuple[int, ...] = tuple(r.index for r in PARAM_REGS)
+
+#: constant folders for trap-free ALU ops (DIV/REM/shifts can trap and
+#: are never folded; their guards must execute)
+_FOLD = {
+    _ADD: lambda a, b: a + b,
+    _SUB: lambda a, b: a - b,
+    _MUL: lambda a, b: a * b,
+    _AND: lambda a, b: a & b,
+    _OR: lambda a, b: a | b,
+    _XOR: lambda a, b: a ^ b,
+    _SLT: lambda a, b: 1 if a < b else 0,
+    _SLE: lambda a, b: 1 if a <= b else 0,
+    _SEQ: lambda a, b: 1 if a == b else 0,
+    _SNE: lambda a, b: 1 if a != b else 0,
+}
+
+
+@dataclass(frozen=True)
+class Jit3Options:
+    """Tier-3 translation knobs (all baked into the generated source,
+    so they are part of the translation cache key)."""
+
+    inline: bool = True          # inline hot small callees at JAL
+    link_loops: bool = True      # back-edges to the block start -> continue
+    specialize: bool = True      # entry guards on profiled-constant args
+    inline_depth: int = 3        # max simultaneously open inline frames
+    inline_size_cap: int = 120   # max callee static length to inline
+    trace_cap: int = 512         # max translated instructions per trace
+    max_trace_regs: int = 24     # cap on trace locals + callee footprint
+    hot_calls: int = 8           # min profiled entry count to inline/spec
+
+    def key(self) -> Tuple:
+        return (
+            self.inline, self.link_loops, self.specialize,
+            self.inline_depth, self.inline_size_cap, self.trace_cap,
+            self.max_trace_regs, self.hot_calls,
+        )
+
+
+def _profile_digest(profile) -> str:
+    """Stable digest of whatever was passed as a profile (``None``, a
+    :class:`~repro.pipeline.profile.BlockProfile`, or a plain dict)."""
+    if profile is None:
+        return "none"
+    digest = getattr(profile, "digest", None)
+    if callable(digest):
+        return digest()
+    import hashlib
+
+    items = sorted(
+        (fn, tuple(sorted(blocks.items())))
+        for fn, blocks in profile.items()
+    )
+    return hashlib.sha256(repr(items).encode("utf-8")).hexdigest()
+
+
+def _hot_by_pc(exe: Executable, profile) -> Dict[int, int]:
+    """Block execution counts keyed by pc (via the executable's labels)."""
+    hot: Dict[int, int] = {}
+    if not profile:
+        return hot
+    for fn, blocks in profile.items():
+        if not isinstance(blocks, dict):
+            continue
+        for block, count in blocks.items():
+            pc = exe.labels.get(f"{fn}.{block}")
+            if pc is not None and count:
+                hot[pc] = max(hot.get(pc, 0), count)
+        entry = exe.func_entries.get(fn)
+        if entry is not None:
+            count = blocks.get("entry", 0)
+            if count:
+                hot[entry] = max(hot.get(entry, 0), count)
+    return hot
+
+
+def _arg_consts_by_pc(exe: Executable, profile) -> Dict[int, Tuple]:
+    """Observed-constant call arguments keyed by function entry pc."""
+    call_args = getattr(profile, "call_args", None)
+    if not call_args:
+        return {}
+    out: Dict[int, Tuple] = {}
+    for fn, args in call_args.items():
+        entry = exe.func_entries.get(fn)
+        if entry is not None:
+            out[entry] = tuple(args)
+    return out
+
+
+class Jit3Program(JitProgram):
+    """A profile-guided trace-translated executable (tier 3).
+
+    Drives the same driver loop and stat reconstruction as
+    :class:`JitProgram`; only the translation differs (see the module
+    docstring).  ``jit3_stats`` records the translation decisions and
+    is surfaced on :attr:`RunStats.jit3` after every run.
+    """
+
+    def __init__(
+        self,
+        exe: Executable,
+        stack_words: int = DEFAULT_STACK_WORDS,
+        max_cycles: int = DEFAULT_MAX_CYCLES,
+        profile=None,
+        opts: Optional[Jit3Options] = None,
+        store=None,
+    ):
+        faults.check(faults.SITE_JIT3, "translate")
+        self.opts = opts or Jit3Options()
+        self.profile_digest = _profile_digest(profile)
+        self._hot = _hot_by_pc(exe, profile)
+        self._arg_consts = _arg_consts_by_pc(exe, profile)
+        entries = sorted(exe.func_entries.values())
+        self._extent = {
+            p: (entries[i + 1] if i + 1 < len(entries) else len(exe.instrs))
+            - p
+            for i, p in enumerate(entries)
+        }
+        self.jit3_stats: Dict[str, object] = {
+            "traces": 0,
+            "max_trace_len": 0,
+            "inlined_calls": 0,
+            "linked_loops": 0,
+            "linked_returns": 0,
+            "guarded_returns": 0,
+            "spec_guards": 0,
+            "elided_syncs": 0,
+            "bailouts": {},
+        }
+        self._store = store
+        self._artifact_pending = store is not None
+        self._store_key = None
+        self._sources: List[str] = []
+        super().__init__(exe, stack_words, max_cycles)
+
+    # -- persistent translation artifacts -----------------------------------
+
+    def _drain_queue(self) -> None:
+        if self._artifact_pending:
+            self._artifact_pending = False
+            self._store_key = (
+                self.exe.fingerprint(),
+                self.profile_digest,
+                self.mem_size,
+                self.max_cycles,
+                self.opts.key(),
+            )
+            art = self._store.get(NS_JIT3, self._store_key)
+            if art is not None and self._restore_artifact(art):
+                self._queue.clear()
+                return
+            super()._drain_queue()
+            self._store.put(NS_JIT3, self._store_key, self._artifact())
+            return
+        super()._drain_queue()
+
+    def _install(self, source: str) -> None:
+        self._sources.append(source)
+        super()._install(source)
+
+    def _artifact(self) -> Dict:
+        stats = dict(self.jit3_stats)
+        stats["bailouts"] = dict(self.jit3_stats["bailouts"])
+        return {
+            "source": "\n".join(self._sources),
+            "exits": [
+                (
+                    p.ninstr, p.cycles, p.calls, p.branches,
+                    tuple(sorted(p.loads.items())),
+                    tuple(sorted(p.stores.items())),
+                )
+                for p in self.exits
+            ],
+            "queued": sorted(self._queued),
+            "stats": stats,
+        }
+
+    def _restore_artifact(self, art) -> bool:
+        """Reinstate a stored translation; ``False`` (retranslate) on
+        any shape mismatch -- byte-level corruption is already handled
+        by the store's checksums."""
+        try:
+            source = art["source"]
+            exits = [
+                _ExitPath(n, cy, ca, br, dict(ld), dict(st))
+                for n, cy, ca, br, ld, st in art["exits"]
+            ]
+            queued = set(art["queued"])
+            stats = dict(art["stats"])
+            stats["bailouts"] = dict(stats["bailouts"])
+            self._install(source)
+        except Exception:
+            return False
+        self.exits = exits
+        self._counts = [0] * len(exits)
+        self._queued = queued
+        self.jit3_stats = stats
+        return True
+
+    # -- translation ---------------------------------------------------------
+
+    def _backedge_targets(self) -> Set[int]:
+        """The pcs some backward branch targets -- the only pcs whose
+        traces can ever link a loop, hence the only ones worth the
+        loop-mode preload/write-back overhead."""
+        targets = getattr(self, "_backedge_target_set", None)
+        if targets is None:
+            targets = {
+                ins[4]
+                for pc, ins in enumerate(self.code)
+                if ins[0] in (_B, _BEQZ, _BNEZ) and 0 <= ins[4] <= pc
+            }
+            self._backedge_target_set = targets
+        return targets
+
+    def _translate_superblock(
+        self, start: int, specialized: bool = True,
+        fname: Optional[str] = None,
+    ) -> str:
+        code = self.code
+        ncode = self.ncode
+        max_cycles = self.max_cycles
+        opts = self.opts
+        st = self.jit3_stats
+        name = fname or f"_b{start}"
+        # loop mode -- body inside ``while True:``, all accessed
+        # registers preloaded, every exit writes back the full written
+        # set -- pays off only where a back-edge can actually link, so
+        # it is reserved for blocks some backward branch targets;
+        # everything else gets tier-2-style lazy loads and
+        # written-so-far write-backs
+        loop_mode = opts.link_loops and start in self._backedge_targets()
+        if loop_mode:
+            IND = "        "
+            lines = [
+                f"def {name}(r, m, o, c, y):",
+                "\x00PRELOAD",
+                "\x00SPEC",
+                "    while True:",
+                f"{IND}\x00ENTRY",
+            ]
+        else:
+            IND = "    "
+            lines = [
+                f"def {name}(r, m, o, c, y):",
+                f"{IND}\x00ENTRY",
+                "\x00SPEC",
+            ]
+        accessed: Set[int] = set()     # registers hoisted into locals
+        known: Set[int] = set()
+        written: List[int] = []        # full written set, in write order
+        consts: Dict[int, int] = {}    # register -> constant at this point
+        inline_stack: List[int] = []   # expected return pcs, innermost last
+        spec_assumed: Dict[int, int] = {}   # entry-guard register -> value
+        spec_lines: List[str] = []
+        extra_source = ""
+        ninstr = 0
+        prefix = 0
+        calls = 0
+        branches = 0
+        loads: Dict[int, int] = {}
+        stores: Dict[int, int] = {}
+
+        def bail(reason: str) -> None:
+            bailouts = st["bailouts"]
+            bailouts[reason] = bailouts.get(reason, 0) + 1
+
+        def const_of(i: int) -> Optional[int]:
+            return 0 if i == 0 else consts.get(i)
+
+        def read(i: int) -> str:
+            if i == 0:
+                return "0"
+            v = consts.get(i)
+            if v is not None:
+                return repr(v)
+            if i not in known:
+                known.add(i)
+                accessed.add(i)
+                if not loop_mode:
+                    lines.append(f"{IND}r{i} = r[{i}]")
+            return f"r{i}"
+
+        def write(i: int, const: Optional[int] = None) -> Optional[str]:
+            if i == 0 or i == DUMP_INDEX:
+                return None
+            known.add(i)
+            accessed.add(i)
+            if i not in written:
+                written.append(i)
+            if const is None:
+                consts.pop(i, None)
+            else:
+                # the local assignment is still emitted: loop re-entry
+                # and exit write-backs rely on the local being current
+                consts[i] = const
+            return f"r{i}"
+
+        def budget_guard() -> None:
+            # marker, not code: the assembly pass hoists all of a
+            # trace's pre-guards into one entry check on the fast
+            # variant and materializes them only in its deopt twin
+            if prefix > 0:
+                lines.append(f"{IND}\x00BG {prefix}")
+
+        def emit_exit(
+            ind: str, ret: str,
+            budget: bool = True, halting: bool = False, bump: bool = True,
+            writeback: bool = True,
+        ) -> None:
+            if writeback:
+                if loop_mode:
+                    lines.append(f"{ind}\x00WB")
+                else:
+                    lines.extend(f"{ind}r[{i}] = r{i}" for i in written)
+            lines.append(f"{ind}y += {prefix}")
+            if budget:
+                lines.append(f"{ind}\x00XB {'y - 1' if halting else 'y'}")
+            if bump:
+                eid = len(self.exits)
+                self.exits.append(_ExitPath(
+                    ninstr, prefix, calls, branches,
+                    dict(loads), dict(stores),
+                ))
+                if len(self._counts) < len(self.exits):
+                    self._counts.append(0)
+                lines.append(f"{ind}c[{eid}] += 1")
+            lines.append(f"{ind}{ret}")
+
+        def exit_to(ind: str, target: int, checked: bool = True) -> None:
+            if 0 <= target < ncode:
+                self._enqueue(target)
+                emit_exit(ind, f"return _b{target}, y")
+            else:
+                emit_exit(
+                    ind,
+                    f"raise MachineTrap('pc {target} outside code')",
+                    budget=checked, bump=False,
+                )
+
+        def backedge_linkable() -> bool:
+            """A transfer to ``start`` may ``continue`` iff the entry
+            assumptions (specialization guards) provably hold here --
+            the loop body re-runs without re-checking them."""
+            if not loop_mode:
+                return False
+            return all(
+                consts.get(g) == v for g, v in spec_assumed.items()
+            )
+
+        def emit_backedge(ind: str) -> None:
+            faults.check(faults.SITE_JIT3, "link")
+            lines.append(f"{ind}y += {prefix}")
+            lines.append(f"{ind}\x00XB y")
+            eid = len(self.exits)
+            self.exits.append(_ExitPath(
+                ninstr, prefix, calls, branches, dict(loads), dict(stores),
+            ))
+            if len(self._counts) < len(self.exits):
+                self._counts.append(0)
+            lines.append(f"{ind}c[{eid}] += 1")
+            lines.append(f"{ind}continue")
+            st["linked_loops"] += 1
+            st["elided_syncs"] += len(written)
+
+        def inline_decision(entry: int) -> bool:
+            if not opts.inline:
+                return False
+            callee = self.exe.func_at_pc.get(entry)
+            if callee is None:
+                return False
+            if self._hot.get(entry, 0) < opts.hot_calls:
+                bail("cold")
+                return False
+            if len(inline_stack) >= opts.inline_depth:
+                bail("depth")
+                return False
+            size = self._extent.get(entry, ncode)
+            if size > opts.inline_size_cap:
+                bail("size")
+                return False
+            if ninstr + size > opts.trace_cap:
+                bail("trace_cap")
+                return False
+            preserved = self.exe.preserved_masks.get(callee)
+            destroy = ALLOCATABLE_MASK if preserved is None \
+                else ALLOCATABLE_MASK & ~preserved
+            mask = destroy
+            for i in accessed:
+                mask |= 1 << i
+            if bin(mask).count("1") > opts.max_trace_regs:
+                bail("footprint")
+                return False
+            faults.check(faults.SITE_JIT3, "inline")
+            return True
+
+        def addr_expr(base: int, imm: int) -> None:
+            off = f" + {imm}" if imm > 0 else (f" - {-imm}" if imm < 0 else "")
+            lines.append(f"{IND}a = {read(base)}{off}")
+
+        # -- specialization: entry guards on profiled-constant arguments --
+        if (
+            specialized and opts.specialize
+            and start in self.exe.func_at_pc
+            and self._hot.get(start, 0) >= opts.hot_calls
+        ):
+            observed = self._arg_consts.get(start) or ()
+            guards = [
+                (_PARAM_IDX[k], v)
+                for k, v in enumerate(observed[:len(_PARAM_IDX)])
+                if v is not None
+            ]
+            if guards:
+                fallback = f"_f{start}"
+                extra_source = self._translate_superblock(
+                    start, specialized=False, fname=fallback
+                )
+                for g, v in guards:
+                    consts[g] = v
+                    spec_assumed[g] = v
+                    if loop_mode:
+                        # the guard reads the preloaded local
+                        accessed.add(g)
+                        known.add(g)
+                        spec_lines.append(
+                            f"    if r{g} != {v}: return {fallback}, y"
+                        )
+                    else:
+                        spec_lines.append(
+                            f"    if r[{g}] != {v}: return {fallback}, y"
+                        )
+                st["spec_guards"] += len(guards)
+
+        pc = start
+        while True:
+            op, rd, rs, rt, imm, kind = code[pc]
+            ninstr += 1
+            lat = _LAT[op]
+
+            if op == _LW:
+                budget_guard()
+                addr_expr(rs, imm)
+                lines.append(
+                    f"{IND}if a < 1 or a >= {self.mem_size}:"
+                    f" raise MachineTrap('bad load address %d at pc={pc}' % a)"
+                )
+                w = write(rd)
+                if w is not None:
+                    lines.append(f"{IND}{w} = m[a]")
+                loads[kind] = loads.get(kind, 0) + 1
+            elif op == _SW:
+                budget_guard()
+                addr_expr(rt, imm)
+                lines.append(
+                    f"{IND}if a < 1 or a >= {self.mem_size}:"
+                    f" raise MachineTrap('bad store address %d at pc={pc}' % a)"
+                )
+                lines.append(f"{IND}m[a] = {read(rs)}")
+                stores[kind] = stores.get(kind, 0) + 1
+            elif op in _INFIX or op in _COMPARE:
+                av, bv = const_of(rs), const_of(rt)
+                if av is not None and bv is not None:
+                    val = _FOLD[op](av, bv)
+                    w = write(rd, const=val)
+                    if w is not None:
+                        lines.append(f"{IND}{w} = {val}")
+                else:
+                    a, b = read(rs), read(rt)
+                    w = write(rd)
+                    if w is not None:
+                        if op in _INFIX:
+                            lines.append(f"{IND}{w} = {a} {_INFIX[op]} {b}")
+                        else:
+                            lines.append(
+                                f"{IND}{w} = 1 if {a} {_COMPARE[op]} {b}"
+                                f" else 0"
+                            )
+            elif op == _ADDI:
+                av = const_of(rs)
+                a = read(rs)
+                if av is not None:
+                    val = av + imm
+                    w = write(rd, const=val)
+                    if w is not None:
+                        lines.append(f"{IND}{w} = {val}")
+                else:
+                    w = write(rd)
+                    if w is not None:
+                        rhs = a if imm == 0 else (
+                            f"{a} + {imm}" if imm > 0 else f"{a} - {-imm}"
+                        )
+                        lines.append(f"{IND}{w} = {rhs}")
+            elif op == _LI or op == _LA:
+                w = write(rd, const=imm)
+                if w is not None:
+                    lines.append(f"{IND}{w} = {imm}")
+            elif op == _MOVE:
+                av = const_of(rs)
+                a = read(rs)
+                w = write(rd, const=av)
+                if w is not None and w != a:
+                    lines.append(f"{IND}{w} = {a}")
+            elif op == _DIV or op == _REM:
+                budget_guard()
+                fn = "sdiv" if op == _DIV else "srem"
+                a, b = read(rs), read(rt)
+                w = write(rd)
+                call = f"{fn}({a}, {b})"
+                lines.append(
+                    f"{IND}{w} = {call}" if w is not None else f"{IND}{call}"
+                )
+            elif op == _SLL or op == _SRL or op == _SRA:
+                budget_guard()
+                s = read(rt)
+                lines.append(
+                    f"{IND}if {s} < 0 or {s} > 63:"
+                    f" raise MachineTrap('shift amount %d out of range'"
+                    f" % ({s},))"
+                )
+                a = read(rs)
+                w = write(rd)
+                if w is not None:
+                    if op == _SLL:
+                        lines.append(f"{IND}{w} = {a} << {s}")
+                    elif op == _SRA:
+                        lines.append(f"{IND}{w} = {a} >> {s}")
+                    else:
+                        lines.append(f"{IND}{w} = srl({a}, {s})")
+            elif op == _NEG:
+                av = const_of(rs)
+                if av is not None:
+                    w = write(rd, const=-av)
+                    if w is not None:
+                        lines.append(f"{IND}{w} = {-av}")
+                else:
+                    a = read(rs)
+                    w = write(rd)
+                    if w is not None:
+                        lines.append(f"{IND}{w} = -{a}")
+            elif op == _NOT:
+                av = const_of(rs)
+                if av is not None:
+                    val = 1 if av == 0 else 0
+                    w = write(rd, const=val)
+                    if w is not None:
+                        lines.append(f"{IND}{w} = {val}")
+                else:
+                    a = read(rs)
+                    w = write(rd)
+                    if w is not None:
+                        lines.append(f"{IND}{w} = 1 if {a} == 0 else 0")
+            elif op == _PRINT:
+                lines.append(f"{IND}o.append({read(rs)})")
+            elif op == _BEQZ or op == _BNEZ:
+                branches += 1
+                prefix += lat
+                cv = const_of(rs)
+                if cv is not None:
+                    taken = (cv == 0) if op == _BEQZ else (cv != 0)
+                    if taken:
+                        if imm == start and backedge_linkable():
+                            emit_backedge(IND)
+                            break
+                        if pc < imm < ncode and ninstr < opts.trace_cap:
+                            pc = imm
+                            continue
+                        exit_to(IND, imm, checked=imm <= pc)
+                        break
+                    pc += 1
+                    if pc < ncode and ninstr < opts.trace_cap:
+                        continue
+                    exit_to(IND, pc, checked=False)
+                    break
+                cond = read(rs)
+                backedge_ok = imm == start and backedge_linkable()
+                # follow the taken direction only when the profile
+                # really favours it: a linkable back-edge, or a forward
+                # target carrying the majority of the flow through this
+                # trace's head (the fall-through's own count is usually
+                # unobservable -- it is rarely a block leader -- so it
+                # is estimated as entry minus taken rather than read
+                # from the profile, where a missing label would score 0
+                # and invert nearly every branch)
+                taken_count = self._hot.get(imm, 0)
+                if (
+                    backedge_ok
+                    or (
+                        pc < imm < ncode
+                        and taken_count * 2 > self._hot.get(start, 1)
+                        and taken_count > self._hot.get(pc + 1, 0)
+                    )
+                ):
+                    # the taken direction is the profiled-hot one:
+                    # follow it, exiting on the cold fall-through
+                    ntest = "!=" if op == _BEQZ else "=="
+                    lines.append(f"{IND}if {cond} {ntest} 0:")
+                    exit_to(IND + "    ", pc + 1, checked=False)
+                    if backedge_ok:
+                        emit_backedge(IND)
+                        break
+                    pc = imm
+                    if ninstr < opts.trace_cap:
+                        continue
+                    exit_to(IND, pc, checked=False)
+                    break
+                test = "==" if op == _BEQZ else "!="
+                lines.append(f"{IND}if {cond} {test} 0:")
+                arm = IND + "    "
+                if backedge_ok:
+                    emit_backedge(arm)
+                else:
+                    exit_to(arm, imm, checked=imm <= pc)
+                pc += 1
+                if pc < ncode and ninstr < opts.trace_cap:
+                    continue
+                exit_to(IND, pc, checked=False)
+                break
+            elif op == _B:
+                prefix += lat
+                if imm == start and backedge_linkable():
+                    emit_backedge(IND)
+                    break
+                if pc < imm < ncode and ninstr < opts.trace_cap:
+                    pc = imm
+                    continue
+                exit_to(IND, imm, checked=imm <= pc)
+                break
+            elif op == _JAL:
+                calls += 1
+                prefix += lat
+                ret_pc = pc + 1
+                w = write(RA.index, const=ret_pc)
+                lines.append(f"{IND}{w} = {ret_pc}")
+                if inline_decision(imm):
+                    inline_stack.append(ret_pc)
+                    st["inlined_calls"] += 1
+                    st["elided_syncs"] += len(written)
+                    pc = imm
+                    continue
+                exit_to(IND, imm, checked=True)
+                break
+            elif op == _JALR:
+                calls += 1
+                prefix += lat
+                bail("indirect_call")
+                lines.append(f"{IND}t = {read(rs)}")
+                w = write(RA.index, const=pc + 1)
+                lines.append(f"{IND}{w} = {pc + 1}")
+                emit_exit(IND, "return _T.get(t) or _jump(t), y")
+                break
+            elif op == _JR:
+                prefix += lat
+                if inline_stack:
+                    expected = inline_stack[-1]
+                    cv = const_of(rs)
+                    if cv == expected:
+                        inline_stack.pop()
+                        st["linked_returns"] += 1
+                        st["elided_syncs"] += len(written)
+                        pc = expected
+                        continue
+                    if cv is None:
+                        lines.append(f"{IND}t = {read(rs)}")
+                        lines.append(f"{IND}if t != {expected}:")
+                        emit_exit(
+                            IND + "    ",
+                            "return _T.get(t) or _jump(t), y",
+                        )
+                        inline_stack.pop()
+                        consts[rs] = expected  # proven by the guard
+                        st["guarded_returns"] += 1
+                        pc = expected
+                        continue
+                    # a known return pc that is not this frame's return
+                    # (tail-call shape): give up linking this trace
+                    bail("return_mismatch")
+                lines.append(f"{IND}t = {read(rs)}")
+                emit_exit(IND, "return _T.get(t) or _jump(t), y")
+                break
+            elif op == _HALT:
+                prefix += lat
+                emit_exit(IND, "return None, y", halting=True)
+                break
+            else:  # pragma: no cover - exhaustive over the opcode set
+                raise MachineTrap(f"unknown opcode number {op}")
+
+            prefix += lat
+            pc += 1
+            if pc >= ncode or ninstr >= opts.trace_cap:
+                exit_to(IND, pc, checked=False)
+                break
+
+        st["traces"] += 1
+        if ninstr > st["max_trace_len"]:
+            st["max_trace_len"] = ninstr
+
+        out: List[str] = []
+        for ln in lines:
+            if ln == "\x00PRELOAD":
+                out.extend(f"    r{i} = r[{i}]" for i in sorted(accessed))
+            elif ln == "\x00SPEC":
+                out.extend(spec_lines)
+            elif ln.endswith("\x00WB"):
+                ind = ln[: -len("\x00WB")]
+                out.extend(f"{ind}r[{i}] = r{i}" for i in written)
+            else:
+                out.append(ln)
+        # Budget-check hoisting.  Mid-trace budget pre-guards (one per
+        # trapping instruction) and the per-exit budget checks can only
+        # ever fire when the remaining cycle budget is smaller than the
+        # trace's own worst-case accrual.  The fast variant therefore
+        # tests that once -- at entry, and at every loop-top in loop
+        # mode -- and deopts to a twin that keeps every check;
+        # everywhere else they are provably dead (``prefix`` is
+        # monotone, so the final total bounds every intermediate
+        # ``y + k`` and post-accrual ``y`` test).
+        if any("\x00BG " in ln or "\x00XB " in ln for ln in out):
+            twin = "_g" + name[1:]
+            fast: List[str] = []
+            slow: List[str] = []
+            for ln in out:
+                body = ln.lstrip()
+                ind = ln[: len(ln) - len(body)]
+                if body.startswith("\x00BG "):
+                    slow.append(
+                        f"{ind}if y + {body[4:]} > {max_cycles}:"
+                        f" raise MachineTrap('cycle budget exceeded')"
+                    )
+                elif body.startswith("\x00XB "):
+                    slow.append(
+                        f"{ind}if {body[4:]} > {max_cycles}:"
+                        f" raise MachineTrap('cycle budget exceeded')"
+                    )
+                elif body == "\x00ENTRY":
+                    if loop_mode:
+                        fast.append(
+                            f"{ind}if y + {prefix} > {max_cycles}:"
+                        )
+                        fast.extend(
+                            f"{ind}    r[{i}] = r{i}" for i in written
+                        )
+                        fast.append(f"{ind}    return {twin}, y")
+                    else:
+                        fast.append(
+                            f"{ind}if y + {prefix} > {max_cycles}:"
+                            f" return {twin}, y"
+                        )
+                elif ln.startswith(f"def {name}("):
+                    fast.append(ln)
+                    slow.append(f"def {twin}(r, m, o, c, y):")
+                else:
+                    fast.append(ln)
+                    slow.append(ln)
+            out = slow + [""] + fast
+        else:
+            out = [ln for ln in out if ln.lstrip() != "\x00ENTRY"]
+        source = "\n".join(out) + "\n"
+        if extra_source:
+            source = extra_source + source
+        return source
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self) -> RunStats:
+        stats = super().run()
+        info = dict(self.jit3_stats)
+        info["bailouts"] = dict(self.jit3_stats["bailouts"])
+        stats.jit3 = info
+        return stats
+
+
 def run_jit(
     exe: Executable,
     stack_words: int = DEFAULT_STACK_WORDS,
@@ -502,14 +1346,15 @@ def run_jit(
     """Execute ``exe`` on the block-translating tier.
 
     The translation is cached on the executable (next to ``_decoded``)
-    keyed by ``(stack_words, max_cycles)``, so repeated runs skip
-    straight to execution.
+    keyed by ``("jit", stack_words, max_cycles)`` -- the tier tag keeps
+    tier-2 and tier-3 translations of one executable from colliding --
+    so repeated runs skip straight to execution.
     """
     cache = getattr(exe, "_jit_cache", None)
     if cache is None:
         cache = {}
         exe._jit_cache = cache  # type: ignore[attr-defined]
-    key = (stack_words, max_cycles)
+    key = ("jit", stack_words, max_cycles)
     prog = cache.get(key)
     if prog is None:
         prog = JitProgram(exe, stack_words, max_cycles)
@@ -517,7 +1362,74 @@ def run_jit(
     return prog.run()
 
 
-SIM_TIERS = ("auto", "interp", "jit")
+def run_jit3(
+    exe: Executable,
+    stack_words: int = DEFAULT_STACK_WORDS,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+    profile=None,
+    opts: Optional[Jit3Options] = None,
+    store=None,
+) -> RunStats:
+    """Execute ``exe`` on the tier-3 trace-translating tier.
+
+    ``profile`` is the :class:`~repro.pipeline.profile.BlockProfile`
+    driving inlining/linking/specialization decisions (``None`` keeps
+    the translator conservative: loop linking only).  ``store`` is an
+    optional :class:`~repro.store.ArtifactStore` through which whole
+    translations round-trip, keyed by (executable fingerprint, profile
+    digest, sim parameters).  The in-memory translation is cached on
+    the executable keyed by tier, sim parameters, options and profile
+    digest.
+    """
+    cache = getattr(exe, "_jit_cache", None)
+    if cache is None:
+        cache = {}
+        exe._jit_cache = cache  # type: ignore[attr-defined]
+    opts = opts or Jit3Options()
+    key = ("jit3", stack_words, max_cycles, opts.key(),
+           _profile_digest(profile))
+    prog = cache.get(key)
+    if prog is None:
+        prog = Jit3Program(
+            exe, stack_words, max_cycles,
+            profile=profile, opts=opts, store=store,
+        )
+        cache[key] = prog
+    return prog.run()
+
+
+SIM_TIERS = ("auto", "interp", "jit", "jit3")
+
+
+def _self_profile(exe: Executable):
+    """Collect (and attach) a profile of ``exe`` by one interpreter run
+    -- the explicit ``sim_tier="jit3"`` path when no profile was
+    attached beforehand.  Deferred import: profile.py imports us."""
+    from repro.pipeline.profile import BlockProfile, attach_profile
+
+    starts: Dict[int, int] = {}
+    where: Dict[int, tuple] = {}
+    for label, pc in exe.labels.items():
+        if "." not in label:
+            continue
+        fn, _, block = label.partition(".")
+        if fn in exe.func_entries:
+            starts[pc] = 0
+            where[pc] = (fn, block)
+    observed: Dict[int, list] = {}
+    run_program(exe, block_counts=starts, call_args=observed)
+    counts: Dict[str, Dict[str, int]] = {}
+    for pc, count in starts.items():
+        fn, block = where[pc]
+        counts.setdefault(fn, {})[block] = count
+    call_args = {
+        exe.func_at_pc[pc]: tuple(args)
+        for pc, args in observed.items()
+        if pc in exe.func_at_pc
+    }
+    profile = BlockProfile(counts, call_args)
+    attach_profile(exe, profile)
+    return profile
 
 
 def simulate(
@@ -527,24 +1439,41 @@ def simulate(
     check_contracts: bool = False,
     block_counts: Optional[Dict[int, int]] = None,
     sim_tier: str = "auto",
+    profile=None,
+    jit3_opts: Optional[Jit3Options] = None,
+    store=None,
 ) -> RunStats:
     """Execute ``exe`` on the selected simulator tier.
 
-    ``sim_tier`` is ``"auto"`` (default: the block-translating tier,
-    falling back to the interpreter whenever contract checking or block
-    profiling is requested -- those are interpreter features),
-    ``"interp"`` (always the reference interpreter) or ``"jit"``
-    (always the translator; incompatible with the interpreter-only
-    features).  Both tiers produce bit-identical :class:`RunStats`.
+    ``sim_tier`` is ``"auto"`` (default), ``"interp"`` (always the
+    reference interpreter), ``"jit"`` (the tier-2 block translator) or
+    ``"jit3"`` (the profile-guided trace translator).  The translated
+    tiers are incompatible with the interpreter-only features
+    (``check_contracts``, ``block_counts``).  All tiers produce
+    bit-identical :class:`RunStats`.
+
+    ``"auto"`` picks the fastest applicable tier: tier 3 when a profile
+    is attached to the executable (see
+    :func:`repro.pipeline.profile.attach_profile`) or passed as
+    ``profile``, tier 2 otherwise -- and a *translation* failure walks
+    down the ladder (jit3 -> jit -> interp) with every failure recorded
+    in :attr:`RunStats.sim_fallback`.  :class:`MachineTrap` is program
+    semantics (all tiers raise it identically) and always propagates.
+
+    ``sim_tier="jit3"`` with no profile anywhere collects one via a
+    single interpreter profiling run first (and attaches it).
+    ``store`` (or ``exe._artifact_store``, which the engine attaches to
+    everything it compiles) persists tier-3 translations across
+    processes.
     """
     if sim_tier not in SIM_TIERS:
         raise ValueError(
             f"unknown sim_tier {sim_tier!r}; expected one of {SIM_TIERS}"
         )
     needs_interp = check_contracts or block_counts is not None
-    if sim_tier == "jit" and needs_interp:
+    if sim_tier in ("jit", "jit3") and needs_interp:
         raise ValueError(
-            "sim_tier='jit' supports neither check_contracts nor "
+            f"sim_tier={sim_tier!r} supports neither check_contracts nor "
             "block_counts; use sim_tier='auto' or 'interp'"
         )
     if sim_tier == "interp" or needs_interp:
@@ -555,18 +1484,43 @@ def simulate(
             check_contracts=check_contracts,
             block_counts=block_counts,
         )
+    if profile is None:
+        profile = getattr(exe, "_block_profile", None)
+    if store is None:
+        store = getattr(exe, "_artifact_store", None)
     if sim_tier == "jit":
         return run_jit(exe, stack_words=stack_words, max_cycles=max_cycles)
-    # tier "auto": a *translation* failure falls back to the reference
-    # interpreter with the reason recorded on the stats.  MachineTrap is
-    # program semantics (both tiers raise it identically) and propagates.
+    if sim_tier == "jit3":
+        if profile is None:
+            profile = _self_profile(exe)
+        return run_jit3(
+            exe, stack_words=stack_words, max_cycles=max_cycles,
+            profile=profile, opts=jit3_opts, store=store,
+        )
+    # tier "auto": a *translation* failure falls back one tier at a
+    # time (jit3 -> jit -> interp), recording each failure on the
+    # stats.  MachineTrap is program semantics (all tiers raise it
+    # identically) and propagates.
+    failures: List[str] = []
+    if profile is not None:
+        try:
+            return run_jit3(
+                exe, stack_words=stack_words, max_cycles=max_cycles,
+                profile=profile, opts=jit3_opts, store=store,
+            )
+        except MachineTrap:
+            raise
+        except Exception as exc:
+            failures.append(f"jit3: {exc!r}")
     try:
-        return run_jit(exe, stack_words=stack_words, max_cycles=max_cycles)
+        stats = run_jit(exe, stack_words=stack_words, max_cycles=max_cycles)
     except MachineTrap:
         raise
     except Exception as exc:
+        failures.append(f"jit: {exc!r}")
         stats = run_program(
             exe, stack_words=stack_words, max_cycles=max_cycles
         )
-        stats.sim_fallback = repr(exc)
-        return stats
+    if failures:
+        stats.sim_fallback = "; ".join(failures)
+    return stats

@@ -30,6 +30,11 @@ class RunStats:
     #: the interpreter (the repr of the translation failure); excluded
     #: from equality because the measurement itself is tier-independent
     sim_fallback: Optional[str] = field(default=None, compare=False)
+    #: tier-3 translation decisions (inlined calls, linked loops and
+    #: returns, specialization guards, bailout reasons, elided host
+    #: register syncs); ``None`` off the jit3 tier, and excluded from
+    #: equality for the same reason as ``sim_fallback``
+    jit3: Optional[Dict[str, object]] = field(default=None, compare=False)
 
     @property
     def scalar_loads(self) -> int:

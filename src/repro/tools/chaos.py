@@ -3,8 +3,11 @@
 For every benchmark this drives two builds of the same source -- a
 plain (non-resilient) reference compile and a resilient compile under a
 seeded :class:`~repro.faults.FaultPlan` arming one fault per toolchain
-stage (planner, coloring, shrink-wrap, codegen, JIT translation, pool
-worker) -- and checks the resilience contract:
+stage (planner, coloring, shrink-wrap, codegen, tier-2 and tier-3 JIT
+translation, pool worker) -- and checks the resilience contract.  A
+block profile is attached to every resilient build, so its ``auto``
+run starts at the tier-3 JIT and a fault there must walk the full
+jit3 -> jit -> interp fallback ladder.  The contract:
 
 * the resilient compile completes with **no unhandled exception**;
 * its program produces the **same output** as the reference build
@@ -37,6 +40,7 @@ from repro.benchsuite.registry import load_benchmarks
 from repro.engine.session import Compiler
 from repro.pipeline.driver import _reference_compile_program
 from repro.pipeline.options import PAPER_CONFIGS
+from repro.pipeline.profile import attach_profile, block_profile_of
 from repro.store.store import ArtifactStore, StoreLockTimeout
 
 #: the acceptance stages: one injected failure in each must be survived
@@ -46,6 +50,7 @@ CHAOS_SITES = (
     faults.SITE_SHRINKWRAP,
     faults.SITE_CODEGEN,
     faults.SITE_JIT,
+    faults.SITE_JIT3,
     faults.SITE_WORKER,
 )
 
@@ -74,12 +79,14 @@ def run_chaos(seed: int, config: str, names: Optional[List[str]] = None,
         source = benches[name].source
         reference = _reference_compile_program(source, options)
         ref_out = reference.run(sim_tier="interp").output
+        profile = block_profile_of(reference, attach=False)
 
         plan = faults.FaultPlan.seeded(seed + i, sites=CHAOS_SITES)
         try:
             with faults.active(plan):
                 built = Compiler(options, resilient=True) \
                     .add_sources(source).compile()
+                attach_profile(built.executable, profile)
                 out = built.run().output
         except Exception as exc:
             violations.append(f"{name}: unhandled exception {exc!r}")

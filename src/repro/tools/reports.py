@@ -173,6 +173,35 @@ def suite_fault_summary(results, engine_stats=None) -> str:
     return "\n".join(lines)
 
 
+def jit3_report(stats_or_info) -> str:
+    """The tier-3 trace JIT's translation decisions for one run: trace
+    shape, cross-procedure inline/link counts, specialization guards,
+    host register syncs elided by linking, and every bailout reason.
+    Takes a :class:`~repro.sim.stats.RunStats` (from a ``jit3`` run) or
+    its ``jit3`` dict directly."""
+    info = getattr(stats_or_info, "jit3", stats_or_info)
+    if not info:
+        return "no tier-3 data (run with sim_tier='jit3' or a profile)"
+    lines = [
+        f"traces: {info.get('traces', 0)}  "
+        f"longest: {info.get('max_trace_len', 0)} instrs",
+        f"inlined calls: {info.get('inlined_calls', 0)}  "
+        f"linked returns: {info.get('linked_returns', 0)}  "
+        f"guarded returns: {info.get('guarded_returns', 0)}",
+        f"linked loops: {info.get('linked_loops', 0)}  "
+        f"specialization guards: {info.get('spec_guards', 0)}",
+        f"elided host register syncs: {info.get('elided_syncs', 0)}",
+    ]
+    bailouts = info.get("bailouts") or {}
+    if bailouts:
+        lines.append("bailouts:")
+        for reason, count in sorted(bailouts.items()):
+            lines.append(f"  {reason}: {count}")
+    else:
+        lines.append("bailouts: none")
+    return "\n".join(lines)
+
+
 def interference_summary(plan: FnPlan) -> str:
     """Degree histogram of the interference graph (allocation pressure)."""
     alloc = plan.alloc

@@ -2,6 +2,8 @@
 
 from repro.pipeline import compile_and_run, compile_program, O2, O3, O3_SW
 from repro.pipeline.profile import (
+    BlockProfile,
+    attach_profile,
     block_profile_of,
     collect_block_profile,
     profile_guided_options,
@@ -72,6 +74,49 @@ def test_profile_guided_never_worse_on_training_input():
     )
     assert base.output == tuned.output
     assert tuned.scalar_memops <= base.scalar_memops * 1.02
+
+
+def test_block_profile_serializes_with_a_stable_digest():
+    prog = compile_program(SRC, O2)
+    profile = block_profile_of(prog, attach=False)
+    clone = BlockProfile.from_json(profile.to_json())
+    assert dict(clone) == dict(profile)
+    assert clone.call_args == profile.call_args
+    assert clone.digest() == profile.digest()
+    # the digest is canonical: key order cannot change it, counts can
+    reordered = BlockProfile(
+        dict(reversed(list(profile.items()))), call_args=profile.call_args
+    )
+    assert reordered.digest() == profile.digest()
+    bumped = BlockProfile(dict(profile), call_args=profile.call_args)
+    bumped["main"] = dict(bumped["main"], entry=999)
+    assert bumped.digest() != profile.digest()
+
+
+def test_block_profile_records_observed_call_arguments():
+    prog = compile_program(SRC, O2)
+    profile = block_profile_of(prog, attach=False)
+    # helper(x) is always called with distinct x values: no constant
+    assert "helper" in profile.call_args or profile.call_args == {}
+    # a callee with one constant argument is pinned in call_args
+    const_src = """
+    func scale(v, k) { return v * k; }
+    func main() {
+        var t = 0;
+        for (var i = 0; i < 10; i = i + 1) { t = t + scale(i, 7); }
+        print t;
+    }
+    """
+    cp = block_profile_of(compile_program(const_src, O2), attach=False)
+    assert cp.call_args["scale"][1] == 7
+
+
+def test_attach_profile_marks_the_executable():
+    prog = compile_program(SRC, O2)
+    profile = block_profile_of(prog, attach=False)
+    assert getattr(prog.executable, "_block_profile", None) is None
+    attach_profile(prog.executable, profile)
+    assert prog.executable._block_profile is profile
 
 
 def test_profile_weights_flow_into_allocation():

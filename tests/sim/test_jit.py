@@ -182,7 +182,7 @@ def test_shift_semantics(op, value, amount, expected):
 # -- the sim_tier knob ------------------------------------------------------
 
 def test_sim_tiers_tuple():
-    assert SIM_TIERS == ("auto", "interp", "jit")
+    assert SIM_TIERS == ("auto", "interp", "jit", "jit3")
 
 
 def test_unknown_tier_rejected():

@@ -1,0 +1,34 @@
+"""Differential property test for the tier-3 trace JIT: random
+programs under every paper configuration retire the exact same
+execution as the reference interpreter.
+
+Same generator bias as the tier-2 test (trapping arithmetic, loops,
+calls, array traffic), plus the profiling step: each executable is
+profiled by one interpreter run, so the tier-3 translator actually
+exercises its inlining, loop-linking and specialization paths rather
+than translating cold code conservatively."""
+
+from hypothesis import given, settings
+
+from helpers import compile_cached
+
+from test_tier_identity import outcome, programs
+
+from repro.ir.arith import MachineTrap
+from repro.pipeline import PAPER_CONFIGS
+from repro.pipeline.profile import block_profile_of
+
+
+@settings(max_examples=20, deadline=None)
+@given(programs())
+def test_tier3_identical_on_random_programs(src):
+    for options in PAPER_CONFIGS.values():
+        prog = compile_cached(src, options)
+        exe = prog.executable
+        try:
+            block_profile_of(prog)
+        except MachineTrap:
+            pass  # the program traps; jit3 must trap identically below
+        interp = outcome(exe, "interp")
+        jit3 = outcome(exe, "jit3")
+        assert interp == jit3
