@@ -59,6 +59,15 @@ from repro.sim import (
     run_program,
     simulate,
 )
+from repro.target.registers import (
+    CALLEE_ONLY_7,
+    CALLER_ONLY_7,
+    Convention,
+    ConventionError,
+    DEFAULT_CONVENTION,
+    split_convention,
+    validate_convention,
+)
 
 __version__ = "1.0.0"
 
@@ -93,5 +102,12 @@ __all__ = [
     "run_jit",
     "run_program",
     "simulate",
+    "CALLEE_ONLY_7",
+    "CALLER_ONLY_7",
+    "Convention",
+    "ConventionError",
+    "DEFAULT_CONVENTION",
+    "split_convention",
+    "validate_convention",
     "__version__",
 ]

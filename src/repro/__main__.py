@@ -26,7 +26,11 @@ from repro.ir.printer import format_module
 from repro.pipeline import compile_program, CompilerOptions
 from repro.sim import SIM_TIERS
 from repro.target.codegen import generate_function
-from repro.target.registers import callee_only_file, caller_only_file
+from repro.target.registers import (
+    callee_only_file,
+    caller_only_file,
+    convention_from_register_file,
+)
 
 
 def _options(args: argparse.Namespace) -> CompilerOptions:
@@ -38,9 +42,13 @@ def _options(args: argparse.Namespace) -> CompilerOptions:
         ipra_globals=args.ipra_globals,
     )
     if args.callers is not None:
-        opts = opts.with_(register_file=caller_only_file(args.callers))
+        opts = opts.with_(convention=convention_from_register_file(
+            caller_only_file(args.callers)
+        ))
     if args.callees is not None:
-        opts = opts.with_(register_file=callee_only_file(args.callees))
+        opts = opts.with_(convention=convention_from_register_file(
+            callee_only_file(args.callees)
+        ))
     return opts
 
 

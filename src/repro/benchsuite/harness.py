@@ -18,6 +18,7 @@ from repro.benchsuite.registry import Benchmark, load_benchmarks
 from repro.pipeline.driver import compile_program
 from repro.pipeline.options import CompilerOptions, PAPER_CONFIGS
 from repro.sim.stats import RunStats, percent_reduction
+from repro.target.registers import Convention, validate_convention
 
 TABLE1_CONFIGS = ("A", "B", "C")
 TABLE2_CONFIGS = ("D", "E")
@@ -58,6 +59,7 @@ def run_benchmark(
     overrides: Optional[Dict[str, CompilerOptions]] = None,
     compile_fn=None,
     sim_tier: str = "auto",
+    convention: Optional[Convention] = None,
 ) -> BenchResult:
     """Compile and run one benchmark under the named paper configs
     (plus the baseline, always).  Verifies output equivalence across all
@@ -68,13 +70,20 @@ def run_benchmark(
     so repeated table regenerations share the baseline compiles.
     ``sim_tier`` selects the simulator tier for every run (both tiers
     produce identical statistics; see :func:`repro.sim.simulate`).
+    ``convention`` overrides the calling convention of *every* requested
+    config (the autotuner's evaluation path); the output-equivalence
+    check then also guards the candidate against miscompiles.
     """
     if compile_fn is None:
         compile_fn = compile_program
+    if convention is not None:
+        validate_convention(convention)
     result = BenchResult(benchmark=benchmark)
     wanted = ["base"] + [c for c in configs if c != "base"]
     for config in wanted:
         options = (overrides or {}).get(config) or PAPER_CONFIGS[config]
+        if convention is not None:
+            options = options.with_(convention=convention)
         program = compile_fn(benchmark.source, options)
         result.stats[config] = program.run(
             check_contracts=check_contracts, sim_tier=sim_tier
@@ -94,12 +103,25 @@ def _check_output_equivalence(result: BenchResult) -> None:
 
 
 def _run_one(
-    bench_name: str, config: str, check_contracts: bool, sim_tier: str
+    bench_name: str,
+    config: str,
+    check_contracts: bool,
+    sim_tier: str,
+    convention_spec: Optional[Dict] = None,
 ) -> Tuple[str, str, RunStats]:
     """Compile and run one (benchmark, config) cell.  Module-level, and
-    handed only strings, so it pickles cleanly into worker processes."""
+    handed only strings/plain dicts (``convention_spec`` is a
+    :meth:`Convention.to_spec` dict), so it pickles cleanly into worker
+    processes."""
     benchmark = load_benchmarks()[bench_name]
-    program = compile_program(benchmark.source, PAPER_CONFIGS[config])
+    options = PAPER_CONFIGS[config]
+    if convention_spec is not None:
+        options = options.with_(
+            convention=validate_convention(
+                Convention.from_spec(convention_spec)
+            )
+        )
+    program = compile_program(benchmark.source, options)
     stats = program.run(check_contracts=check_contracts, sim_tier=sim_tier)
     return bench_name, config, stats
 
@@ -110,6 +132,7 @@ def _run_one_worker(
     check_contracts: bool,
     sim_tier: str,
     plan: Optional[faults.FaultPlan],
+    convention_spec: Optional[Dict] = None,
 ) -> Tuple[str, str, RunStats]:
     """Pool-worker wrapper around :func:`_run_one`: installs the
     caller's fault plan (a pickled copy with its own counters -- pin
@@ -122,7 +145,10 @@ def _run_one_worker(
             faults.check(
                 faults.SITE_SUITE_WORKER, f"{bench_name}:{config}"
             )
-            return _run_one(bench_name, config, check_contracts, sim_tier)
+            return _run_one(
+                bench_name, config, check_contracts, sim_tier,
+                convention_spec,
+            )
         finally:
             if plan is not None:
                 faults.clear()
@@ -136,8 +162,13 @@ def run_suite(
     jobs: int = 1,
     task_timeout: Optional[float] = 120.0,
     max_retries: int = 2,
+    convention: Optional[Convention] = None,
 ) -> List[BenchResult]:
     """Run every selected benchmark under the named configs.
+
+    ``convention`` (a :class:`~repro.target.registers.Convention`)
+    overrides every config's calling convention -- the autotuner's
+    evaluation path; it crosses into pool workers as a plain spec dict.
 
     ``jobs`` > 1 fans the independent (benchmark, config) cells out over
     a process pool -- each cell compiles and simulates in its own
@@ -166,10 +197,19 @@ def run_suite(
         )
     if jobs <= 0:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if convention is not None:
+        if not isinstance(convention, Convention):
+            raise TypeError(
+                "convention must be a Convention, got "
+                f"{type(convention).__name__}"
+            )
+        validate_convention(convention)
+    spec = None if convention is None else convention.to_spec()
     if jobs == 1:
         return [
             run_benchmark(
-                benches[name], configs, check_contracts, sim_tier=sim_tier
+                benches[name], configs, check_contracts,
+                sim_tier=sim_tier, convention=convention,
             )
             for name in selected
         ]
@@ -187,7 +227,7 @@ def run_suite(
             futures = {
                 cell: pool.submit(
                     _run_one_worker, cell[0], cell[1],
-                    check_contracts, sim_tier, plan,
+                    check_contracts, sim_tier, plan, spec,
                 )
                 for cell in pending
             }
@@ -219,7 +259,7 @@ def run_suite(
             for (name, config), _exc in failed:
                 try:
                     _, _, stats = _run_one(
-                        name, config, check_contracts, sim_tier
+                        name, config, check_contracts, sim_tier, spec
                     )
                     results[name].stats[config] = stats
                 except Exception as final_exc:

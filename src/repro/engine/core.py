@@ -77,9 +77,7 @@ from repro.engine.invalidation import (
 )
 from repro.engine.resilience import (
     CompileReport,
-    FALLBACK_TAGS,
     GuardedCache,
-    MAX_DEMOTION_LEVEL,
     ResiliencePolicy,
 )
 from repro.engine.scheduler import default_workers, run_levels, scc_levels
@@ -107,7 +105,6 @@ from repro.store.artifacts import StoredPlan
 from repro.store.store import NS_CODEGEN, NS_PLAN, open_store
 from repro.target.codegen import generate_function
 from repro.target.isa import AsmFunction
-from repro.target.registers import RegisterFile
 
 #: first element of the plan key of a demoted procedure; demoted keys are
 #: never stored in the clean caches, only used to re-key dependants
@@ -161,15 +158,24 @@ def _codegen_fingerprint(entry: Tuple[AsmFunction, int]) -> Tuple:
 
 
 # -- the open-demotion ladder ------------------------------------------------
+#
+# The ladder's rung order is convention data (``Convention.ladder``), so
+# an autotuner candidate may reorder it; rung ``k`` (1-based) applies the
+# strategy named by ``ladder[k - 1]``.
 
 def _demoted_options(popts: PlanOptions, level: int) -> PlanOptions:
-    """Plan options for demotion rung ``level`` (see resilience module)."""
-    if level <= 1:
+    """Plan options for demotion rung ``level`` of the convention's
+    ladder (see resilience module for the tag semantics)."""
+    tag = popts.convention.ladder[level - 1]
+    if tag == "open":
         return popts
-    if level == 2:
+    if tag == "open-noshrinkwrap":
         return _options_replace(popts, shrink_wrap=False)
+    # "open-noregalloc": the reference rung -- no allocation at all
     return _options_replace(
-        popts, shrink_wrap=False, register_file=RegisterFile(())
+        popts,
+        shrink_wrap=False,
+        convention=popts.convention.with_allocatable(()),
     )
 
 
@@ -186,12 +192,16 @@ def _plan_demoted(fn, popts, eff, arities, level: int) -> FnPlan:
     )
 
 
-def _first_rung(popts: PlanOptions, is_open: bool, mode: str = "") -> int:
-    """Rung 1 (replan as open) only helps procedures that were closed;
-    anything already open (or intra) starts at rung 2."""
-    if mode:
-        return 1 if mode == "closed" else 2
-    return 1 if (popts.ipra and not is_open) else 2
+def _first_rung(ladder: Sequence[str], was_closed: bool) -> int:
+    """A plain ``open`` rung (replan as open, same options) only helps
+    procedures that were closed; anything already open (or intra) skips
+    past the leading ``open`` rungs."""
+    if was_closed:
+        return 1
+    for i, tag in enumerate(ladder):
+        if tag != "open":
+            return i + 1
+    return len(ladder)
 
 
 class _DemoteAtCodegen(Exception):
@@ -516,7 +526,8 @@ class Engine:
         """
         forced: Dict[str, int] = {}
         no_store: Set[str] = set()
-        bound = (MAX_DEMOTION_LEVEL + 1) * len(program.functions) + 2
+        rungs = len(popts.convention.ladder)
+        bound = (rungs + 1) * len(program.functions) + 2
         for _ in range(bound):
             with self.stats.timer(record, "plan"):
                 plan, keys = self._plan(
@@ -612,7 +623,7 @@ class Engine:
         is_open = ctx.cg.is_open(name) if ctx.cg is not None else True
         eff = effective_summaries(
             fn, ctx.program, ctx.cg, ctx.pos, ctx.closed,
-            demoted=ctx.demoted,
+            demoted=ctx.demoted, convention=ctx.popts.convention,
         )
         level = ctx.forced.get(name)
         if level is not None:
@@ -724,12 +735,14 @@ class Engine:
         """Walk the demotion ladder after a planning failure; returns the
         first plan that compiles, or re-raises the original error when
         even the reference convention cannot be planned."""
-        for level in range(_first_rung(popts, is_open), MAX_DEMOTION_LEVEL + 1):
+        ladder = popts.convention.ladder
+        was_closed = popts.ipra and not is_open
+        for level in range(_first_rung(ladder, was_closed), len(ladder) + 1):
             try:
                 plan = _plan_demoted(fn, popts, eff, arities, level)
             except Exception:
                 continue
-            report.record(fn.name, "plan", exc, FALLBACK_TAGS[level])
+            report.record(fn.name, "plan", exc, ladder[level - 1])
             return plan, level
         raise exc
 
@@ -784,15 +797,15 @@ class Engine:
                 except Exception as exc:
                     if report is None:
                         raise
+                    ladder = fnplan.convention.ladder
                     next_level = max(
                         demoted_level + 1,
-                        _first_rung(popts=None, is_open=True,
-                                    mode=fnplan.mode),
+                        _first_rung(ladder, fnplan.mode == "closed"),
                     ) if not demoted_level else demoted_level + 1
-                    if next_level > MAX_DEMOTION_LEVEL:
+                    if next_level > len(ladder):
                         raise
                     report.record(
-                        name, "codegen", exc, FALLBACK_TAGS[next_level]
+                        name, "codegen", exc, ladder[next_level - 1]
                     )
                     raise _DemoteAtCodegen(name, next_level) from exc
                 preserved = _preserved_mask(fnplan)

@@ -13,8 +13,9 @@ cold compile would have produced:
   signature tuple -- the paper's "one word of storage" plus parameter
   homes -- which is exactly the information a caller's plan consumed;
 * :class:`~repro.interproc.allocator.PlanOptions` reduce to the fields
-  that can change an allocation (the register file's *ordered* contents,
-  not just its mask: allocation order follows file order).
+  that can change an allocation, led by the convention's full functional
+  key (*ordered* allocatable contents, save-class masks, argument-register
+  count, demotion ladder) so two conventions never collide in any cache.
 
 Fingerprints of IR functions are memoised on the function object itself;
 cached functions are immutable once published, so the memo is safe.
@@ -103,7 +104,7 @@ def plan_options_fingerprint(options: PlanOptions) -> Tuple:
     is folded in per function by :func:`weights_fingerprint`.
     """
     return (
-        tuple(r.index for r in options.register_file.allocatable),
+        options.convention.key(),
         options.ipra,
         options.shrink_wrap,
         options.combine,
@@ -136,7 +137,7 @@ def options_fingerprint(options) -> str:
     parts = [
         str(options.opt_level),
         str(options.shrink_wrap),
-        ",".join(str(r.index) for r in options.register_file.allocatable),
+        repr(options.convention.key()),
         str(options.combine),
         str(options.prefer_subtree_reg),
         str(options.smear_loops),

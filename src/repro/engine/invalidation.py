@@ -48,6 +48,7 @@ def effective_summaries(
     pos: Dict[str, int],
     closed_summaries: Dict[str, ProcSummary],
     demoted: Optional[Container[str]] = None,
+    convention=None,
 ) -> Dict[str, ProcSummary]:
     """The summaries ``plan_program`` would have accumulated by the time
     it reaches ``fn``, restricted to ``fn``'s direct callees (the only
@@ -68,7 +69,9 @@ def effective_summaries(
         if target is None or pos[callee] >= my_pos:
             continue  # extern, or not yet planned in sequential order
         if cg.is_open(callee) or (demoted is not None and callee in demoted):
-            eff[callee] = default_summary(callee, len(target.params))
+            eff[callee] = default_summary(
+                callee, len(target.params), convention
+            )
         else:
             eff[callee] = closed_summaries[callee]
     return eff

@@ -104,6 +104,9 @@ class EngineStats:
     #: tier-3 JIT translation decision summaries, one per jit3 run of a
     #: program this engine compiled (see :attr:`RunStats.jit3`)
     jit3_runs: List[Dict] = field(default_factory=list)
+    #: convention-autotuner search progress, one event dict per search
+    #: step (start / evaluate / halve / done; see :mod:`repro.tuning`)
+    tune_events: List[Dict] = field(default_factory=list)
 
     def begin(self, kind: str = "program") -> CompileRecord:
         record = CompileRecord(kind=kind)
@@ -113,6 +116,10 @@ class EngineStats:
     def record_jit3(self, info: Dict) -> None:
         """Record one tier-3 run's translation decisions."""
         self.jit3_runs.append(dict(info))
+
+    def record_tune(self, event: Dict) -> None:
+        """Record one autotuner search event."""
+        self.tune_events.append(dict(event))
 
     def timer(self, record: CompileRecord, stage: str) -> _StageTimer:
         return _StageTimer(record.stages[stage])
@@ -151,6 +158,7 @@ class EngineStats:
             "invalidation_cascades": self.cascade_sizes(),
             "faults": self.fault_totals(),
             "jit3_runs": [dict(r) for r in self.jit3_runs],
+            "tune_events": [dict(e) for e in self.tune_events],
             "records": [r.to_dict() for r in self.records],
         }
 

@@ -46,21 +46,27 @@ from repro.shrinkwrap.placement import (
     shrink_wrap,
 )
 from repro.target.registers import (
-    CALLEE_SAVED_MASK,
-    NUM_PARAM_REGS,
-    PARAM_REGS,
+    Convention,
+    DEFAULT_CONVENTION,
     Register,
     RegisterFile,
     V0,
+    convention_from_register_file,
     registers_in_mask,
 )
 
 
 @dataclass
 class PlanOptions:
-    """Knobs of the allocation strategy (see ``repro.pipeline.options``)."""
+    """Knobs of the allocation strategy (see ``repro.pipeline.options``).
 
-    register_file: RegisterFile
+    ``convention`` is the calling convention in force; ``register_file``
+    is the deprecated alias (a file becomes the same convention with a
+    restricted allocatable pool) and always reflects the convention's
+    allocatable view after init.
+    """
+
+    register_file: Optional[RegisterFile] = None
     ipra: bool = False
     shrink_wrap: bool = False
     combine: bool = True            # Section 6 propagate-vs-wrap strategy
@@ -73,6 +79,17 @@ class PlanOptions:
     #: mod/ref extension: register-cache globals across calls whose
     #: subtrees provably never touch them
     ipra_globals: bool = False
+    convention: Optional[Convention] = None
+
+    def __post_init__(self) -> None:
+        if self.convention is None:
+            if self.register_file is None:
+                self.convention = DEFAULT_CONVENTION
+            else:
+                self.convention = convention_from_register_file(
+                    self.register_file
+                )
+        self.register_file = self.convention.register_file
 
 
 @dataclass
@@ -82,6 +99,9 @@ class FnPlan:
     name: str
     alloc: AllocationResult
     mode: str                       # 'intra' | 'open' | 'closed'
+    #: the convention this plan was made under (codegen and the engine's
+    #: preserved-mask contract read save classes from here)
+    convention: Convention = DEFAULT_CONVENTION
     #: callee-saved registers saved at entry / restored at all exits
     entry_exit_saves: List[Register] = field(default_factory=list)
     #: register index -> shrink-wrapped placement
@@ -111,7 +131,9 @@ class ProgramPlan:
     summaries: Dict[str, ProcSummary] = field(default_factory=dict)
 
 
-def _callee_saved_need_mask(alloc: AllocationResult) -> int:
+def _callee_saved_need_mask(
+    alloc: AllocationResult, convention: Convention
+) -> int:
     """Callee-saved registers destroyed inside this procedure's frame of
     responsibility: its own assignments plus clobbers at its call sites
     (the latter only carry callee-saved bits under IPRA, where closed
@@ -119,7 +141,7 @@ def _callee_saved_need_mask(alloc: AllocationResult) -> int:
     mask = alloc.own_assigned_mask
     for m in alloc.call_clobbers.values():
         mask |= m
-    return mask & CALLEE_SAVED_MASK
+    return mask & convention.callee_mask
 
 
 def _app_blocks_for(alloc: AllocationResult, reg: Register) -> Set[int]:
@@ -135,15 +157,13 @@ def _app_blocks_for(alloc: AllocationResult, reg: Register) -> Set[int]:
 
 
 def _incoming_params_closed(
-    fn: IRFunction, alloc: AllocationResult
+    fn: IRFunction, alloc: AllocationResult, convention: Convention
 ) -> List[ParamSpec]:
     """Section 4: a closed procedure's parameter travels in whatever
     register the allocator gave the parameter variable.  Memory-resident
     parameters arrive in a free caller-saved register (stored to their
     home in the prologue) or on the stack when none is free; parameters
     whose incoming value is never read are marked dead (no staging)."""
-    from repro.target.registers import CALLER_SAVED
-
     live_at_entry = alloc.liveness.live_in[alloc.cfg.entry]
     taken = {
         alloc.assignment[v].index
@@ -151,8 +171,11 @@ def _incoming_params_closed(
         if v in alloc.assignment and v in live_at_entry
     }
     specs: List[ParamSpec] = []
-    arrival_pool = list(PARAM_REGS) + [
-        r for r in CALLER_SAVED if not r.is_param
+    staged = {r.index for r in convention.param_regs}
+    arrival_pool = list(convention.param_regs) + [
+        r
+        for r in registers_in_mask(convention.caller_mask)
+        if r.index not in staged
     ]
     for v in fn.param_vregs:
         k = v.index
@@ -183,8 +206,9 @@ def plan_function(
     allowed_globals: Optional[Set[str]] = None,
 ) -> FnPlan:
     """Allocate one procedure and fix its save/restore strategy."""
+    convention = options.convention or DEFAULT_CONVENTION
     env = AllocEnv(
-        register_file=options.register_file,
+        convention=convention,
         ipra=options.ipra,
         proc_is_open=is_open,
         summaries=summaries if options.ipra else {},
@@ -208,13 +232,13 @@ def plan_function(
     alloc = allocate_function(fn, env, coloring, subtree_used_mask=subtree_mask)
 
     mode = "intra" if not options.ipra else ("open" if is_open else "closed")
-    plan = FnPlan(name=fn.name, alloc=alloc, mode=mode)
+    plan = FnPlan(name=fn.name, alloc=alloc, mode=mode, convention=convention)
 
-    need_mask = _callee_saved_need_mask(alloc)
-    need_regs = [r for r in registers_in_mask(need_mask) if r.callee_saved]
+    need_mask = _callee_saved_need_mask(alloc, convention)
+    need_regs = list(registers_in_mask(need_mask))
 
     if mode in ("intra", "open"):
-        plan.incoming_params = default_param_specs(len(fn.params))
+        plan.incoming_params = default_param_specs(len(fn.params), convention)
         if options.shrink_wrap and need_regs:
             app = {r.index: _app_blocks_for(alloc, r) for r in need_regs}
             plan.shrink_stats = shrink_wrap(
@@ -224,12 +248,12 @@ def plan_function(
         else:
             plan.entry_exit_saves = list(need_regs)
         if options.ipra:
-            # open procedures present the default convention to callers
-            plan.summary = default_summary(fn.name, len(fn.params))
+            # open procedures present the default linkage to callers
+            plan.summary = default_summary(fn.name, len(fn.params), convention)
         return plan
 
     # closed procedure under IPRA
-    plan.incoming_params = _incoming_params_closed(fn, alloc)
+    plan.incoming_params = _incoming_params_closed(fn, alloc, convention)
     used = alloc.own_assigned_mask | (1 << V0.index)
     for m in alloc.call_clobbers.values():
         used |= m

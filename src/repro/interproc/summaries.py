@@ -26,9 +26,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.target.registers import (
-    DEFAULT_CLOBBER_MASK,
-    NUM_PARAM_REGS,
-    PARAM_REGS,
+    Convention,
+    DEFAULT_CONVENTION,
     Register,
     V0,
 )
@@ -62,12 +61,17 @@ class ParamSpec:
         return self.pos
 
 
-def default_param_specs(arity: int) -> List[ParamSpec]:
-    """The default linkage convention: first four in a0-a3, rest on stack."""
+def default_param_specs(
+    arity: int, convention: Optional[Convention] = None
+) -> List[ParamSpec]:
+    """The default linkage of ``convention`` (the paper's fixed one when
+    omitted): leading parameters in its argument registers, rest on
+    stack."""
+    param_regs = (convention or DEFAULT_CONVENTION).param_regs
     specs = []
     for k in range(arity):
-        if k < NUM_PARAM_REGS:
-            specs.append(ParamSpec(pos=k, reg=PARAM_REGS[k]))
+        if k < len(param_regs):
+            specs.append(ParamSpec(pos=k, reg=param_regs[k]))
         else:
             specs.append(ParamSpec(pos=k, reg=None))
     return specs
@@ -101,11 +105,15 @@ class ProcSummary:
         return self.used_mask | self.staging_mask() | (1 << V0.index)
 
 
-def default_summary(name: str, arity: int) -> ProcSummary:
-    """Summary assumed for open procedures, externs and indirect calls."""
+def default_summary(
+    name: str, arity: int, convention: Optional[Convention] = None
+) -> ProcSummary:
+    """Summary assumed for open procedures, externs and indirect calls,
+    under ``convention`` (the paper's fixed one when omitted)."""
+    convention = convention or DEFAULT_CONVENTION
     return ProcSummary(
         name=name,
         closed=False,
-        used_mask=DEFAULT_CLOBBER_MASK,
-        params=default_param_specs(arity),
+        used_mask=convention.default_clobber_mask,
+        params=default_param_specs(arity, convention),
     )

@@ -16,6 +16,7 @@ from repro.pipeline.linker import (
 )
 from repro.pipeline.options import (
     CompilerOptions,
+    OptionsError,
     O0,
     O1,
     O2,
@@ -39,6 +40,7 @@ __all__ = [
     "link_executable",
     "link_ir_modules",
     "CompilerOptions",
+    "OptionsError",
     "O0",
     "O1",
     "O2",

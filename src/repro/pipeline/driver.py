@@ -40,11 +40,7 @@ from repro.pipeline.linker import (
 from repro.pipeline.options import CompilerOptions, O2
 from repro.sim.stats import RunStats
 from repro.target.codegen import generate_function
-from repro.target.registers import (
-    ALLOCATABLE_MASK,
-    CALLEE_SAVED_MASK,
-    RegisterFile,
-)
+from repro.target.registers import ALLOCATABLE_MASK
 
 Source = Union[str, Tuple[str, str]]  # source text or (module name, text)
 
@@ -91,11 +87,11 @@ def _parse_sources(sources: Union[Source, Sequence[Source]]) -> List[IRModule]:
 
 
 def _plan_options(options: CompilerOptions) -> PlanOptions:
-    register_file = options.register_file
+    convention = options.convention
     if not options.allocate_registers:
-        register_file = RegisterFile(())
+        convention = convention.with_allocatable(())
     return PlanOptions(
-        register_file=register_file,
+        convention=convention,
         ipra=options.ipra,
         shrink_wrap=options.shrink_wrap,
         combine=options.combine,
@@ -113,7 +109,7 @@ def _preserved_mask(plan: FnPlan) -> int:
     (used by the simulator's dynamic contract checker)."""
     if plan.summary is not None and plan.summary.closed:
         return ALLOCATABLE_MASK & ~plan.summary.used_mask
-    return CALLEE_SAVED_MASK
+    return plan.convention.callee_mask
 
 
 def _codegen_module(

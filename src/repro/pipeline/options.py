@@ -25,10 +25,14 @@ from typing import Dict, Optional, Sequence
 
 from repro.frontend.errors import OptionsError
 from repro.target.registers import (
-    FULL_FILE,
+    CALLEE_ONLY_7,
+    CALLER_ONLY_7,
+    Convention,
+    ConventionError,
+    DEFAULT_CONVENTION,
     RegisterFile,
-    caller_only_file,
-    callee_only_file,
+    convention_from_register_file,
+    validate_convention,
 )
 
 
@@ -36,7 +40,10 @@ from repro.target.registers import (
 class CompilerOptions:
     opt_level: int = 2
     shrink_wrap: bool = False
-    register_file: RegisterFile = FULL_FILE
+    #: deprecated alias for ``convention``: a RegisterFile here becomes
+    #: the paper's fixed linkage restricted to the file's registers; after
+    #: init it always holds the convention's allocatable view
+    register_file: Optional[RegisterFile] = None
     #: Section 6 propagate-vs-wrap combining strategy
     combine: bool = True
     #: Fig. 1 tie-break: prefer registers already used in the call tree
@@ -51,6 +58,33 @@ class CompilerOptions:
     #: mod/ref extension: cache globals in registers across calls whose
     #: subtrees provably never touch them
     ipra_globals: bool = False
+    #: the calling convention in force (save classes, argument registers,
+    #: allocatable pool, demotion ladder); the autotuner's search variable
+    convention: Optional[Convention] = None
+
+    def __post_init__(self) -> None:
+        convention = self.convention
+        if convention is None:
+            if self.register_file is None:
+                convention = DEFAULT_CONVENTION
+            else:
+                convention = convention_from_register_file(
+                    self.register_file
+                )
+        elif not isinstance(convention, Convention):
+            # leave the bad value in place for validate_options to report
+            return
+        elif (
+            self.register_file is not None
+            and tuple(self.register_file.allocatable)
+            != tuple(convention.allocatable)
+        ):
+            raise OptionsError(
+                "convention and register_file disagree on the allocatable "
+                "pool; pass only one (register_file is a deprecated alias)"
+            )
+        object.__setattr__(self, "convention", convention)
+        object.__setattr__(self, "register_file", convention.register_file)
 
     @property
     def ipra(self) -> bool:
@@ -65,6 +99,14 @@ class CompilerOptions:
         return self.opt_level >= 1
 
     def with_(self, **kwargs) -> "CompilerOptions":
+        """Functional update.  Setting one of ``convention`` /
+        ``register_file`` clears the other so the replacement wins (the
+        two are views of the same choice; ``register_file`` is the
+        deprecated spelling)."""
+        if "convention" in kwargs and "register_file" not in kwargs:
+            kwargs["register_file"] = None
+        elif "register_file" in kwargs and "convention" not in kwargs:
+            kwargs["convention"] = None
         return replace(self, **kwargs)
 
 
@@ -89,9 +131,18 @@ def validate_options(options: CompilerOptions) -> CompilerOptions:
             "register_file must be a RegisterFile, got "
             f"{type(options.register_file).__name__}"
         )
-    if options.allocate_registers and len(options.register_file) == 0:
+    if not isinstance(options.convention, Convention):
         raise OptionsError(
-            "register_file is empty but opt_level "
+            "convention must be a Convention, got "
+            f"{type(options.convention).__name__}"
+        )
+    try:
+        validate_convention(options.convention)
+    except ConventionError as exc:
+        raise OptionsError(f"ill-formed convention: {exc}") from exc
+    if options.allocate_registers and len(options.convention.allocatable) == 0:
+        raise OptionsError(
+            "convention has no allocatable registers but opt_level "
             f"{options.opt_level} performs register allocation; "
             "use opt_level <= 1 for an allocation-free build"
         )
@@ -131,8 +182,8 @@ O2 = CompilerOptions(opt_level=2, shrink_wrap=False)        # Table 1 baseline
 O2_SW = CompilerOptions(opt_level=2, shrink_wrap=True)      # Table 1 col A
 O3 = CompilerOptions(opt_level=3, shrink_wrap=False)        # Table 1 col B
 O3_SW = CompilerOptions(opt_level=3, shrink_wrap=True)      # Table 1 col C
-TABLE2_D = O3_SW.with_(register_file=caller_only_file(7))   # Table 2 col D
-TABLE2_E = O3_SW.with_(register_file=callee_only_file(7))   # Table 2 col E
+TABLE2_D = O3_SW.with_(convention=CALLER_ONLY_7)            # Table 2 col D
+TABLE2_E = O3_SW.with_(convention=CALLEE_ONLY_7)            # Table 2 col E
 
 PAPER_CONFIGS: Dict[str, CompilerOptions] = {
     "base": O2,

@@ -87,7 +87,7 @@ def _gather_param_bonus(
         from repro.interproc.summaries import default_param_specs
 
         for v in fn.param_vregs:
-            specs = default_param_specs(len(fn.params))
+            specs = default_param_specs(len(fn.params), env.convention)
             spec = specs[v.index]
             if spec.reg is not None:
                 key = (v, spec.reg.index)
@@ -161,8 +161,9 @@ def allocate_function(
     order.sort(key=lambda pair: (-pair[0], pair[1].vreg.name))
 
     used_mask = 0
-    convention = env.callee_saved_convention_applies
-    regs = env.register_file.allocatable
+    save_obligation = env.callee_saved_convention_applies
+    callee_mask = env.convention.callee_mask
+    regs = env.convention.allocatable
 
     for _, lr in order:
         v = lr.vreg
@@ -177,8 +178,8 @@ def allocate_function(
                 continue
             first_use = 0
             if (
-                convention
-                and r.callee_saved
+                save_obligation
+                and (callee_mask >> r.index & 1)
                 and not (used_mask & (1 << r.index))
             ):
                 first_use = SAVE_RESTORE_COST * model.entry_weight

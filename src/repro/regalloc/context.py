@@ -22,9 +22,10 @@ from repro.interproc.summaries import (
 from repro.ir.instructions import Call, CallInd, IRInstr
 from repro.ir.values import VReg
 from repro.target.registers import (
-    DEFAULT_CLOBBER_MASK,
+    Convention,
     RegisterFile,
     V0,
+    convention_from_register_file,
 )
 
 
@@ -32,19 +33,38 @@ from repro.target.registers import (
 class AllocEnv:
     """Environment for allocating one procedure.
 
-    ``summaries`` holds the summaries of every already-processed procedure
-    (empty under intra-procedural allocation).  ``arities`` maps every
-    known procedure name to its parameter count (needed to fabricate
-    default summaries for unknown callees).  ``proc_is_open`` says whether
-    the procedure being allocated is itself open, which decides whether
+    ``convention`` is the calling convention in force (save classes,
+    argument registers, allocatable pool); ``register_file`` is accepted
+    as a deprecated construction alias and always reflects the
+    convention's allocatable view after init.  ``summaries`` holds the
+    summaries of every already-processed procedure (empty under
+    intra-procedural allocation).  ``arities`` maps every known
+    procedure name to its parameter count (needed to fabricate default
+    summaries for unknown callees).  ``proc_is_open`` says whether the
+    procedure being allocated is itself open, which decides whether
     callee-saved registers carry the default save-at-entry obligation.
     """
 
-    register_file: RegisterFile
+    convention: Optional[Convention] = None
     ipra: bool = False
     proc_is_open: bool = True
     summaries: Dict[str, ProcSummary] = field(default_factory=dict)
     arities: Dict[str, int] = field(default_factory=dict)
+    #: deprecated alias: a RegisterFile here becomes the convention's
+    #: allocatable pool under the paper's fixed linkage
+    register_file: Optional[RegisterFile] = None
+
+    def __post_init__(self) -> None:
+        if self.convention is None:
+            if self.register_file is None:
+                raise TypeError(
+                    "AllocEnv needs a convention (or the deprecated "
+                    "register_file alias)"
+                )
+            self.convention = convention_from_register_file(
+                self.register_file
+            )
+        self.register_file = self.convention.register_file
 
     def callee_summary(self, instr: IRInstr) -> ProcSummary:
         """The summary in force for a call instruction."""
@@ -52,10 +72,14 @@ class AllocEnv:
             if self.ipra and instr.func in self.summaries:
                 return self.summaries[instr.func]
             return default_summary(
-                instr.func, self.arities.get(instr.func, len(instr.args))
+                instr.func,
+                self.arities.get(instr.func, len(instr.args)),
+                self.convention,
             )
         if isinstance(instr, CallInd):
-            return default_summary("<indirect>", len(instr.args))
+            return default_summary(
+                "<indirect>", len(instr.args), self.convention
+            )
         raise TypeError(f"not a call: {instr!r}")
 
     def clobber_mask(self, instr: IRInstr) -> int:
@@ -77,10 +101,19 @@ class AllocEnv:
         return not self.ipra or self.proc_is_open
 
 
-def intra_env(register_file: RegisterFile, arities: Optional[Dict[str, int]] = None) -> AllocEnv:
-    """Environment for plain intra-procedural (paper -O2) allocation."""
+def intra_env(
+    file_or_convention, arities: Optional[Dict[str, int]] = None
+) -> AllocEnv:
+    """Environment for plain intra-procedural (paper -O2) allocation.
+    Accepts a :class:`Convention` or (deprecated) a :class:`RegisterFile`.
+    """
+    convention = (
+        file_or_convention
+        if isinstance(file_or_convention, Convention)
+        else convention_from_register_file(file_or_convention)
+    )
     return AllocEnv(
-        register_file=register_file,
+        convention=convention,
         ipra=False,
         proc_is_open=True,
         arities=dict(arities or {}),

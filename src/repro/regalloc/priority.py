@@ -89,11 +89,11 @@ class PriorityModel:
         """Register-independent ordering key: the optimistic priority,
         assuming the cheapest register (no entry cost)."""
         best_cost = min(
-            (self.clobber_cost(lr, r) for r in self.env.register_file.allocatable),
+            (self.clobber_cost(lr, r) for r in self.env.convention.allocatable),
             default=0,
         )
         best_bonus = max(
-            (self.bonus(lr, r) for r in self.env.register_file.allocatable),
+            (self.bonus(lr, r) for r in self.env.convention.allocatable),
             default=0,
         )
         return (self.benefit(lr) + best_bonus - best_cost) / lr.span

@@ -23,12 +23,19 @@ _EXPORTS = {
     "ALL_REGISTERS": "repro.target.registers",
     "ALLOCATABLE": "repro.target.registers",
     "ALLOCATABLE_MASK": "repro.target.registers",
+    "CALLEE_ONLY_7": "repro.target.registers",
     "CALLEE_SAVED": "repro.target.registers",
     "CALLEE_SAVED_MASK": "repro.target.registers",
+    "CALLER_ONLY_7": "repro.target.registers",
     "CALLER_SAVED": "repro.target.registers",
     "CALLER_SAVED_MASK": "repro.target.registers",
+    "Convention": "repro.target.registers",
+    "ConventionError": "repro.target.registers",
     "DEFAULT_CLOBBER_MASK": "repro.target.registers",
+    "DEFAULT_CONVENTION": "repro.target.registers",
+    "DEFAULT_LADDER": "repro.target.registers",
     "FULL_FILE": "repro.target.registers",
+    "LADDER_TAGS": "repro.target.registers",
     "NUM_PARAM_REGS": "repro.target.registers",
     "NUM_REGISTERS": "repro.target.registers",
     "PARAM_REGS": "repro.target.registers",
@@ -36,8 +43,11 @@ _EXPORTS = {
     "RegisterFile": "repro.target.registers",
     "callee_only_file": "repro.target.registers",
     "caller_only_file": "repro.target.registers",
+    "convention_from_register_file": "repro.target.registers",
     "reg": "repro.target.registers",
     "registers_in_mask": "repro.target.registers",
+    "split_convention": "repro.target.registers",
+    "validate_convention": "repro.target.registers",
 }
 
 __all__ = list(_EXPORTS)

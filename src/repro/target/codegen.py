@@ -127,7 +127,9 @@ class _Emitter:
     def _call_specs(self, ins) -> List[ParamSpec]:
         specs = self.alloc.call_params.get(id(ins))
         if specs is None:
-            specs = default_param_specs(len(ins.args))
+            specs = default_param_specs(
+                len(ins.args), getattr(self.plan, "convention", None)
+            )
         return specs
 
     def _plan_frame(self) -> Frame:

@@ -22,11 +22,13 @@ Layout (index = bit position in every mask)::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Register",
     "RegisterFile",
+    "Convention",
+    "ConventionError",
     "ALL_REGISTERS",
     "ALLOCATABLE",
     "ALLOCATABLE_MASK",
@@ -34,8 +36,13 @@ __all__ = [
     "CALLER_SAVED_MASK",
     "CALLEE_SAVED",
     "CALLEE_SAVED_MASK",
+    "CALLEE_ONLY_7",
+    "CALLER_ONLY_7",
     "DEFAULT_CLOBBER_MASK",
+    "DEFAULT_CONVENTION",
+    "DEFAULT_LADDER",
     "FULL_FILE",
+    "LADDER_TAGS",
     "NUM_PARAM_REGS",
     "NUM_REGISTERS",
     "PARAM_REGS",
@@ -50,6 +57,9 @@ __all__ = [
     "registers_in_mask",
     "caller_only_file",
     "callee_only_file",
+    "convention_from_register_file",
+    "split_convention",
+    "validate_convention",
 ]
 
 
@@ -206,3 +216,280 @@ def caller_only_file(n: int = len(CALLER_SAVED)) -> RegisterFile:
 def callee_only_file(n: int = len(CALLEE_SAVED)) -> RegisterFile:
     """A file of the first ``n`` callee-saved registers (paper config E)."""
     return RegisterFile(CALLEE_SAVED[:n])
+
+
+# ---------------------------------------------------------------------------
+# calling conventions (first-class; the autotuner's search space)
+# ---------------------------------------------------------------------------
+
+class ConventionError(ValueError):
+    """An ill-formed :class:`Convention` (overlapping or unallocatable
+    masks, argument registers outside the caller-saved set, ...)."""
+
+
+#: the open-demotion ladder of the resilient engine, in escalation
+#: order; every rung plans the procedure open, the last rung is the
+#: always-compilable reference strategy (no allocation at all)
+DEFAULT_LADDER: Tuple[str, ...] = (
+    "open", "open-noshrinkwrap", "open-noregalloc",
+)
+
+#: every rung tag a Convention ladder may carry
+LADDER_TAGS = frozenset(DEFAULT_LADDER)
+
+
+@dataclass(frozen=True)
+class Convention:
+    """A first-class calling convention: the paper's fixed caller/callee
+    split, register-parameter count, and demotion ladder, as data.
+
+    ``caller_mask`` / ``callee_mask`` classify the *machine's* allocatable
+    register classes (linkage is a whole-program agreement, independent
+    of how many registers one compile may hand out); ``allocatable`` is
+    the ordered subset the allocator may actually assign (allocation
+    preference follows tuple order).  ``num_arg_regs`` says how many
+    leading parameters travel in ``PARAM_REGS``; the rest go to the
+    stack.  ``ladder`` orders the resilient engine's open-demotion rungs.
+
+    ``name`` is cosmetic (excluded from equality and fingerprints);
+    everything else is functional and participates in every cache key
+    via :meth:`key`.
+    """
+
+    allocatable: Tuple[Register, ...] = ALLOCATABLE
+    caller_mask: int = CALLER_SAVED_MASK
+    callee_mask: int = CALLEE_SAVED_MASK
+    num_arg_regs: int = NUM_PARAM_REGS
+    ladder: Tuple[str, ...] = DEFAULT_LADDER
+    name: str = field(default="custom", compare=False)
+
+    # -- derived views ------------------------------------------------------
+
+    @property
+    def mask(self) -> int:
+        """Bitmask of the allocatable registers."""
+        return _mask_of(self.allocatable)
+
+    @property
+    def param_regs(self) -> Tuple[Register, ...]:
+        """Registers carrying the leading parameters, in position order."""
+        return PARAM_REGS[: self.num_arg_regs]
+
+    @property
+    def default_clobber_mask(self) -> int:
+        """What a call to a procedure compiled under this convention's
+        default linkage may destroy: every caller-saved register plus
+        the return-value register."""
+        return self.caller_mask | V0.mask
+
+    @property
+    def register_file(self) -> RegisterFile:
+        """The deprecated :class:`RegisterFile` view of ``allocatable``."""
+        return RegisterFile(self.allocatable)
+
+    def is_caller_saved(self, r: Register) -> bool:
+        return bool(self.caller_mask >> r.index & 1)
+
+    def is_callee_saved(self, r: Register) -> bool:
+        return bool(self.callee_mask >> r.index & 1)
+
+    # -- functional updates -------------------------------------------------
+
+    def with_allocatable(
+        self, regs: Sequence[Register]
+    ) -> "Convention":
+        """The same linkage agreement over a different allocatable pool
+        (e.g. the demotion ladder's empty-file reference rung)."""
+        return Convention(
+            allocatable=tuple(regs),
+            caller_mask=self.caller_mask,
+            callee_mask=self.callee_mask,
+            num_arg_regs=self.num_arg_regs,
+            ladder=self.ladder,
+            name=self.name,
+        )
+
+    # -- stable serialisations ----------------------------------------------
+
+    def key(self) -> Tuple:
+        """The functional content as a flat tuple of ints/strings --
+        what every plan/codegen/fingerprint cache key folds in, so two
+        conventions never collide in any cache layer."""
+        return (
+            tuple(r.index for r in self.allocatable),
+            self.caller_mask,
+            self.callee_mask,
+            self.num_arg_regs,
+            self.ladder,
+        )
+
+    def to_spec(self) -> Dict[str, object]:
+        """JSON- and pickle-friendly spec (used by suite workers and the
+        tuner's report artifact); :func:`convention_from_spec` inverts."""
+        return {
+            "name": self.name,
+            "allocatable": [r.index for r in self.allocatable],
+            "caller_mask": self.caller_mask,
+            "callee_mask": self.callee_mask,
+            "num_arg_regs": self.num_arg_regs,
+            "ladder": list(self.ladder),
+        }
+
+    @staticmethod
+    def from_spec(spec: Dict[str, object]) -> "Convention":
+        return Convention(
+            allocatable=tuple(
+                ALL_REGISTERS[i] for i in spec["allocatable"]
+            ),
+            caller_mask=int(spec["caller_mask"]),
+            callee_mask=int(spec["callee_mask"]),
+            num_arg_regs=int(spec["num_arg_regs"]),
+            ladder=tuple(spec["ladder"]),
+            name=str(spec.get("name", "custom")),
+        )
+
+    def describe(self) -> str:
+        callers = len(registers_in_mask(self.caller_mask))
+        callees = len(registers_in_mask(self.callee_mask))
+        return (
+            f"{self.name}: {len(self.allocatable)} allocatable "
+            f"({callers} caller-saved / {callees} callee-saved), "
+            f"{self.num_arg_regs} register args, "
+            f"ladder {'>'.join(self.ladder)}"
+        )
+
+
+def validate_convention(conv: Convention) -> Convention:
+    """Eagerly check a :class:`Convention` for violations that would
+    otherwise miscompile or surface as deep errors; returns ``conv``
+    unchanged so call sites can validate inline."""
+    if not isinstance(conv, Convention):
+        raise ConventionError(
+            f"expected Convention, got {type(conv).__name__}"
+        )
+    if conv.caller_mask & conv.callee_mask:
+        overlap = registers_in_mask(conv.caller_mask & conv.callee_mask)
+        raise ConventionError(
+            "caller and callee masks overlap on "
+            + ", ".join(f"${r.name}" for r in overlap)
+        )
+    if (conv.caller_mask | conv.callee_mask) & ~ALLOCATABLE_MASK:
+        bad = registers_in_mask(
+            (conv.caller_mask | conv.callee_mask) & ~ALLOCATABLE_MASK
+        )
+        raise ConventionError(
+            "convention masks cover reserved registers: "
+            + ", ".join(f"${r.name}" for r in bad)
+        )
+    unclassified = conv.mask & ~(conv.caller_mask | conv.callee_mask)
+    if unclassified:
+        bad = registers_in_mask(unclassified)
+        raise ConventionError(
+            "allocatable registers with no save class: "
+            + ", ".join(f"${r.name}" for r in bad)
+        )
+    if not 0 <= conv.num_arg_regs <= NUM_PARAM_REGS:
+        raise ConventionError(
+            f"num_arg_regs must be in 0..{NUM_PARAM_REGS}, "
+            f"got {conv.num_arg_regs}"
+        )
+    staged = _mask_of(conv.param_regs)
+    if staged & conv.callee_mask:
+        bad = registers_in_mask(staged & conv.callee_mask)
+        raise ConventionError(
+            "argument registers must be caller-saved, but "
+            + ", ".join(f"${r.name}" for r in bad)
+            + " are callee-saved"
+        )
+    if not conv.ladder or conv.ladder[-1] != "open-noregalloc":
+        raise ConventionError(
+            "demotion ladder must end with the reference rung "
+            f"'open-noregalloc', got {conv.ladder!r}"
+        )
+    if not set(conv.ladder) <= LADDER_TAGS:
+        raise ConventionError(
+            f"unknown ladder rungs {sorted(set(conv.ladder) - LADDER_TAGS)}"
+        )
+    if len(set(conv.ladder)) != len(conv.ladder):
+        raise ConventionError(f"duplicate ladder rungs in {conv.ladder!r}")
+    seen = 0
+    for r in conv.allocatable:
+        if seen >> r.index & 1:
+            raise ConventionError(f"duplicate allocatable register ${r.name}")
+        seen |= r.mask
+    return conv
+
+
+#: the paper's fixed convention: a0-a3/t0-t6 caller-saved, s0-s8
+#: callee-saved, four register parameters, the standard ladder
+DEFAULT_CONVENTION = validate_convention(Convention(name="chow88"))
+
+#: paper config D re-expressed: IPRA restricted to 7 caller-saved regs
+CALLER_ONLY_7 = validate_convention(
+    Convention(allocatable=CALLER_SAVED[:7], name="caller-only-7")
+)
+
+#: paper config E re-expressed: IPRA restricted to 7 callee-saved regs
+CALLEE_ONLY_7 = validate_convention(
+    Convention(allocatable=CALLEE_SAVED[:7], name="callee-only-7")
+)
+
+
+def convention_from_register_file(
+    rf: RegisterFile, name: Optional[str] = None
+) -> Convention:
+    """Adapt a deprecated :class:`RegisterFile` to the Convention API:
+    the paper's fixed linkage agreement, allocation restricted to the
+    file's registers.  ``caller_only_file(7)`` / ``callee_only_file(7)``
+    map onto the :data:`CALLER_ONLY_7` / :data:`CALLEE_ONLY_7` presets.
+    """
+    if name is None:
+        name = f"file-{len(rf.allocatable)}"
+        if rf.allocatable == DEFAULT_CONVENTION.allocatable:
+            name = DEFAULT_CONVENTION.name
+        elif rf.allocatable == CALLER_ONLY_7.allocatable:
+            name = CALLER_ONLY_7.name
+        elif rf.allocatable == CALLEE_ONLY_7.allocatable:
+            name = CALLEE_ONLY_7.name
+    return validate_convention(
+        Convention(allocatable=tuple(rf.allocatable), name=name)
+    )
+
+
+def split_convention(
+    split: int,
+    num_arg_regs: int = NUM_PARAM_REGS,
+    ladder: Tuple[str, ...] = DEFAULT_LADDER,
+    name: Optional[str] = None,
+) -> Convention:
+    """Re-partition the 20 allocatable registers at ``split``: the first
+    ``split`` registers of the canonical order (a0-a3, t0-t6, s0-s8)
+    become caller-saved, the rest callee-saved.  This is the autotuner's
+    primary search axis; ``split=11`` with 4 argument registers and the
+    default ladder reproduces :data:`DEFAULT_CONVENTION` exactly."""
+    if not 0 <= split <= len(ALLOCATABLE):
+        raise ConventionError(
+            f"split must be in 0..{len(ALLOCATABLE)}, got {split}"
+        )
+    if split < num_arg_regs:
+        raise ConventionError(
+            f"split {split} leaves argument register "
+            f"${ALLOCATABLE[split].name} callee-saved; "
+            f"need split >= num_arg_regs ({num_arg_regs})"
+        )
+    caller = _mask_of(ALLOCATABLE[:split])
+    callee = _mask_of(ALLOCATABLE[split:])
+    if name is None:
+        name = f"split-{split}-args-{num_arg_regs}"
+        if ladder != DEFAULT_LADDER:
+            name += "-alt-ladder"
+    return validate_convention(
+        Convention(
+            allocatable=ALLOCATABLE,
+            caller_mask=caller,
+            callee_mask=callee,
+            num_arg_regs=num_arg_regs,
+            ladder=ladder,
+            name=name,
+        )
+    )

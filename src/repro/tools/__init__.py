@@ -7,6 +7,7 @@ from repro.tools.reports import (
     disassemble,
     interference_summary,
     program_report,
+    tune_report,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "disassemble",
     "interference_summary",
     "program_report",
+    "tune_report",
 ]

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional
 from repro.interproc.allocator import FnPlan, ProgramPlan
 from repro.pipeline.driver import CompiledProgram
 from repro.pipeline.linker import Executable
-from repro.target.registers import registers_in_mask
+from repro.target.registers import DEFAULT_CONVENTION, registers_in_mask
 
 
 def allocation_report(plan: FnPlan) -> str:
@@ -84,9 +84,67 @@ def describe_options(prog: CompiledProgram) -> str:
         bits.append("+modref-globals")
     if o.block_weights is not None:
         bits.append("+profile")
-    if len(o.register_file) != 20:
-        bits.append(f"({len(o.register_file)} regs)")
+    if o.convention != DEFAULT_CONVENTION:
+        conv = o.convention
+        bits.append(
+            f"({conv.name}: {len(conv.allocatable)} regs, "
+            f"{conv.num_arg_regs} reg args)"
+        )
     return " ".join(bits)
+
+
+def tune_report(report: Dict) -> str:
+    """Render an autotuner report (the :meth:`TuneResult.to_report`
+    dict) as the human-readable search summary: one row per evaluated
+    candidate, the winner vs the paper's fixed convention, and each
+    program's individually-best convention."""
+    lines = [
+        f"convention autotune: config {report['config']}, "
+        f"budget {report['budget']}, seed {report['seed']}, "
+        f"{report['evaluations']} evaluations over "
+        f"{len(report['programs'])} programs "
+        f"({report['wall_seconds']:.2f}s)",
+        f"  {'candidate':<24s} {'round':>5s} {'progs':>5s} "
+        f"{'cycles':>14s} {'save/restore':>12s} {'scalar':>10s}",
+        "  " + "-" * 74,
+    ]
+    for cand in report["candidates"]:
+        t = cand["totals"]
+        name = cand["convention"]["name"]
+        if cand["errors"]:
+            lines.append(
+                f"  {name:<24s} {cand['round']:>5d} "
+                f"DISQUALIFIED ({len(cand['errors'])} failures)"
+            )
+            continue
+        lines.append(
+            f"  {name:<24s} {cand['round']:>5d} {len(cand['programs']):>5d} "
+            f"{t['cycles']:>14,d} {t['save_restore_memops']:>12,d} "
+            f"{t['scalar_memops']:>10,d}"
+        )
+    win = report["winner"]
+    red = win["reduction_vs_baseline"]
+    lines.append(
+        f"winner: {win['convention']['name']}  "
+        f"(vs {report['baseline']['convention']['name']}: "
+        f"cycles {red['cycles']:+.2f}%, "
+        f"save/restore {red['save_restore_memops']:+.2f}%, "
+        f"scalar {red['scalar_memops']:+.2f}%)"
+    )
+    guard = report.get("guard")
+    if guard is not None:
+        lines.append(
+            f"guard [{guard['candidate']}]: "
+            + ("holds" if guard["holds"] else "VIOLATED")
+        )
+    lines.append("per-program optima:")
+    for name, cell in sorted(report["per_program_winners"].items()):
+        lines.append(
+            f"  {name:<10s} {cell['convention']:<24s} "
+            f"{cell['cycles']:>12,d} cycles "
+            f"({cell['reduction_pct']:+.2f}% vs baseline)"
+        )
+    return "\n".join(lines)
 
 
 def call_graph_dot(plan: ProgramPlan) -> str:

@@ -105,3 +105,62 @@ def test_configs_have_distinct_option_digests():
     here = _digests_in_this_process()
     digests = [p["options"] for p in here["configs"].values()]
     assert len(set(digests)) == len(digests)
+
+
+def test_convention_changes_every_fingerprint_layer():
+    from repro.engine.fingerprint import (
+        options_fingerprint, plan_options_fingerprint,
+    )
+    from repro.interproc.allocator import PlanOptions
+    from repro.pipeline.options import PAPER_CONFIGS
+    from repro.target.registers import DEFAULT_CONVENTION, split_convention
+
+    alt = split_convention(13, 4)
+    base = PAPER_CONFIGS["C"]
+    assert options_fingerprint(base) != options_fingerprint(
+        base.with_(convention=alt)
+    )
+    assert plan_options_fingerprint(
+        PlanOptions(convention=DEFAULT_CONVENTION)
+    ) != plan_options_fingerprint(PlanOptions(convention=alt))
+    # the name is presentation only -- it must NOT re-key anything
+    renamed = split_convention(13, 4, name="same-but-renamed")
+    assert options_fingerprint(
+        base.with_(convention=alt)
+    ) == options_fingerprint(base.with_(convention=renamed))
+
+
+def test_two_conventions_never_collide_in_one_engine():
+    """One engine, same source, two conventions: the plan keys must
+    differ per function, and each compile must reproduce the build a
+    fresh engine makes for its convention (no cross-candidate cache
+    pollution -- the autotuner relies on this)."""
+    from repro.engine.core import Engine
+    from repro.pipeline.options import PAPER_CONFIGS
+    from repro.target.registers import split_convention
+    from repro.tools.warmstart import executable_digest
+
+    alt_options = PAPER_CONFIGS["C"].with_(
+        convention=split_convention(4, 4)
+    )
+    engine = Engine(PAPER_CONFIGS["C"])
+    a = engine.compile(SRC)
+    keys_a = dict(engine._last_keys)
+    b = engine.compile(SRC, alt_options)
+    keys_b = dict(engine._last_keys)
+    for name in keys_a:
+        assert keys_a[name] != keys_b[name]
+    assert a.run().output == b.run().output
+
+    fresh_a = Engine(PAPER_CONFIGS["C"]).compile(SRC)
+    fresh_b = Engine(alt_options).compile(SRC)
+    assert executable_digest(a.executable) == executable_digest(
+        fresh_a.executable
+    )
+    assert executable_digest(b.executable) == executable_digest(
+        fresh_b.executable
+    )
+    # the two conventions really produce different code
+    assert executable_digest(a.executable) != executable_digest(
+        b.executable
+    )
