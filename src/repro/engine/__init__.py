@@ -6,7 +6,7 @@ See :mod:`repro.engine.core` for the cache model,
 session.
 """
 
-from repro.engine.core import Engine
+from repro.engine.core import BatchCancelled, Engine
 from repro.engine.resilience import (
     CompileReport,
     DegradationRecord,
@@ -16,6 +16,7 @@ from repro.engine.session import Compiler
 from repro.engine.stats import CompileRecord, EngineStats, StageStats
 
 __all__ = [
+    "BatchCancelled",
     "Compiler",
     "CompileRecord",
     "CompileReport",

@@ -204,6 +204,15 @@ def _first_rung(ladder: Sequence[str], was_closed: bool) -> int:
     return len(ladder)
 
 
+class BatchCancelled(RuntimeError):
+    """A :meth:`Engine.compile_batch` request was cooperatively cancelled
+    before its work started (every waiter abandoned it).  Placed in the
+    request's result slot; never raised out of the batch call."""
+
+    def __init__(self, message: str = "compile request cancelled"):
+        super().__init__(message)
+
+
 class _DemoteAtCodegen(Exception):
     """Internal: codegen failed for a procedure; replan it demoted."""
 
@@ -350,6 +359,7 @@ class Engine:
         self,
         requests: Sequence[Union[Source, Sequence[Source]]],
         options: Optional[CompilerOptions] = None,
+        should_cancel=None,
     ) -> List[Union[CompiledProgram, Exception]]:
         """Compile many independent programs through one merged schedule.
 
@@ -361,6 +371,17 @@ class Engine:
         of the returned list is either the built program or the
         exception that request raised.
 
+        ``should_cancel`` arms cooperative cancellation: a zero-argument
+        callable polled at request boundaries (before each sequential
+        compile, before the merged planning pass, before each request's
+        codegen).  Once it returns true, every not-yet-finished request
+        gets a :class:`BatchCancelled` in its result slot instead of
+        being compiled -- the engine never abandons work mid-procedure,
+        so caches stay coherent, it just stops starting new work.  The
+        :class:`~repro.service.CompileService` uses this to stop burning
+        planner time on a batch whose waiters have all hit their
+        deadlines.
+
         The merged path covers the common case; a resilient engine (or
         a merged pass tripped by an injected fault or a broken store
         pairing) falls back to compiling the affected requests
@@ -368,10 +389,16 @@ class Engine:
         per-program restart semantics.
         """
         options = self.options if options is None else validate_options(options)
+        cancelled = (
+            (lambda: False) if should_cancel is None else should_cancel
+        )
         results: List[Union[CompiledProgram, Exception]] = \
             [None] * len(requests)  # type: ignore[list-item]
         if self.resilient or len(requests) <= 1:
             for i, sources in enumerate(requests):
+                if cancelled():
+                    results[i] = BatchCancelled()
+                    continue
                 try:
                     results[i] = self.compile(sources, options)
                 except Exception as exc:
@@ -398,6 +425,10 @@ class Engine:
             prepared.append([i, record, program, None])
 
         try:
+            if cancelled():
+                for slot in prepared:
+                    results[slot[0]] = BatchCancelled()
+                return results
             t0 = time.perf_counter()
             for slot in prepared:
                 slot[3] = self._plan_context(
@@ -424,6 +455,9 @@ class Engine:
 
             for slot in prepared:
                 i, record, program, ctx = slot
+                if cancelled():
+                    results[i] = BatchCancelled()
+                    continue
                 record.stages["plan"].seconds += (
                     plan_seconds / len(prepared)
                 )
@@ -454,6 +488,9 @@ class Engine:
             # requests one at a time with full restart semantics
             for slot in prepared:
                 if results[slot[0]] is None:
+                    if cancelled():
+                        results[slot[0]] = BatchCancelled()
+                        continue
                     try:
                         results[slot[0]] = self.compile(
                             requests[slot[0]], options

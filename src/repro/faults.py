@@ -67,9 +67,12 @@ __all__ = [
     "SITE_JIT",
     "SITE_JIT3",
     "SITE_PLAN",
+    "SITE_SERVICE_DEADLINE",
+    "SITE_SERVICE_QUEUE",
     "SITE_SHRINKWRAP",
     "SITE_STORE_LOCK",
     "SITE_STORE_READ",
+    "SITE_STORE_SCRUB",
     "SITE_STORE_WRITE",
     "SITE_SUITE_WORKER",
     "SITE_WORKER",
@@ -89,8 +92,14 @@ SITE_JIT3 = "jit3"                   # sim/jit: tier-3 trace translation
 #                                      (keys: "translate"/"inline"/"link")
 SITE_SUITE_WORKER = "suite-worker"   # benchsuite/harness: suite pool cell
 SITE_STORE_READ = "store-read"       # store: entry payload read (corrupt)
-SITE_STORE_WRITE = "store-write"     # store: entry write (raise = I/O error)
+SITE_STORE_WRITE = "store-write"     # store: entry write (raise = I/O error;
+#                                      key "publish:<ns>" = between temp
+#                                      write and rename -- the kill window)
 SITE_STORE_LOCK = "store-lock"       # store: advisory-lock acquisition
+SITE_STORE_SCRUB = "store-scrub"     # store: scrub per-entry re-verify
+SITE_SERVICE_DEADLINE = "service-deadline"  # service: batch dispatch on the
+#                                      executor (hang = stalled planner)
+SITE_SERVICE_QUEUE = "service-queue"  # service: request admission control
 
 ALL_SITES: Tuple[str, ...] = (
     SITE_PLAN,
@@ -106,6 +115,9 @@ ALL_SITES: Tuple[str, ...] = (
     SITE_STORE_READ,
     SITE_STORE_WRITE,
     SITE_STORE_LOCK,
+    SITE_STORE_SCRUB,
+    SITE_SERVICE_DEADLINE,
+    SITE_SERVICE_QUEUE,
 )
 
 KINDS = ("raise", "hang", "corrupt", "kill")

@@ -12,6 +12,8 @@ corruption/locking model).
 from repro.store.artifacts import StoredPlan
 from repro.store.store import (
     ArtifactStore,
+    StoreError,
+    StoreLockTimeout,
     StoreStats,
     key_digest,
     open_store,
@@ -19,6 +21,8 @@ from repro.store.store import (
 
 __all__ = [
     "ArtifactStore",
+    "StoreError",
+    "StoreLockTimeout",
     "StoreStats",
     "StoredPlan",
     "key_digest",

@@ -5,10 +5,17 @@ Subcommands (all take the store directory as their first argument)::
     repro store stats  PATH            # entry/byte/shard counts
     repro store verify PATH [--keep]   # re-checksum; drop corrupt entries
     repro store gc     PATH --max-bytes N   # LRU-by-mtime eviction
+    repro store scrub  PATH [--max-entries N] [--orphan-age S] [--restart]
+                                       # quarantine corruption, reap temps
 
-``gc`` and ``verify`` hold the store's advisory lock while they scan, so
-concurrent compilers keep working (readers and writers are lock-free)
-but two maintenance passes never race each other.
+``gc``, ``verify`` and ``scrub`` hold the store's advisory lock while
+they scan, so concurrent compilers keep working (readers and writers are
+lock-free) but two maintenance passes never race each other.  ``scrub``
+is the self-healing pass: corrupt entries move to ``quarantine/``
+(evidence preserved; the vacated address repairs itself on the next
+miss) and temp files orphaned by killed writers are reaped; with
+``--max-entries`` it resumes from a persisted shard cursor, so bounded
+nightly passes cover the store incrementally.
 """
 
 from __future__ import annotations
@@ -59,6 +66,27 @@ def store_main(argv: Optional[List[str]] = None) -> int:
     )
     p_gc.add_argument("--json", action="store_true", dest="as_json")
 
+    p_scrub = sub.add_parser(
+        "scrub",
+        help="quarantine corrupt entries and reap orphaned writer temps",
+    )
+    p_scrub.add_argument("path", help="store directory")
+    p_scrub.add_argument(
+        "--max-entries", type=int, default=None,
+        help="stop after re-verifying this many entries (resumes from a "
+             "persisted cursor next call)",
+    )
+    p_scrub.add_argument(
+        "--orphan-age", type=float, default=60.0,
+        help="temp files older than this many seconds are reaped "
+             "(default 60)",
+    )
+    p_scrub.add_argument(
+        "--restart", action="store_true",
+        help="ignore the persisted cursor and start from shard 00",
+    )
+    p_scrub.add_argument("--json", action="store_true", dest="as_json")
+
     args = parser.parse_args(argv)
     store = ArtifactStore(args.path)
 
@@ -66,6 +94,12 @@ def store_main(argv: Optional[List[str]] = None) -> int:
         report = store.summary()
     elif args.subcommand == "verify":
         report = store.verify(remove=not args.keep)
+    elif args.subcommand == "scrub":
+        report = store.scrub(
+            max_entries=args.max_entries,
+            orphan_age_seconds=args.orphan_age,
+            resume=not args.restart,
+        )
     else:  # gc
         report = store.gc(max_bytes=args.max_bytes)
 
@@ -78,6 +112,16 @@ def store_main(argv: Optional[List[str]] = None) -> int:
         print(f"entries: {report['entries']}")
         print(f"bytes:   {report['bytes']} ({_human(report['bytes'])})")
         print(f"shards:  {report['shards_used']} in use")
+        if report["quarantined_entries"]:
+            print(f"quarantine: {report['quarantined_entries']} entries")
+    elif args.subcommand == "scrub":
+        print(f"checked:     {report['checked']} entries "
+              f"(shards {report['start_shard']:02x}.., "
+              f"{report['shards_scanned']} scanned)")
+        print(f"quarantined: {report['quarantined']}")
+        print(f"reaped:      {report['reaped']} orphaned temp files")
+        if report["errors"]:
+            print(f"errors:      {report['errors']} (entries skipped)")
     elif args.subcommand == "verify":
         what = "removed" if not args.keep else "found (kept)"
         print(f"checked: {report['checked']}")

@@ -31,15 +31,31 @@ under a best-effort advisory lock; a stale lock older than
 ``stale_lock_seconds`` is broken, and a lock that cannot be acquired
 within ``lock_timeout`` raises :class:`StoreLockTimeout`.
 
+**Self-healing.**  A corrupt entry is never silently destroyed: both the
+read path and :meth:`ArtifactStore.scrub` move it into a ``quarantine/``
+area next to the shards, preserving the evidence while vacating the
+content address -- the next lookup is a clean miss, the engine
+recomputes, and the re-``put`` repairs the store (recompute-on-next-miss).
+``scrub`` additionally re-verifies checksums *incrementally* (a persisted
+shard cursor lets bounded passes cover the whole store across calls) and
+reaps orphaned ``*.tmp`` files left in the shards by writers that were
+killed between ``mkstemp`` and ``os.replace``.  A temp file younger than
+``orphan_age_seconds`` is presumed to belong to a live writer and is
+left alone, so scrubbing never races an in-flight ``put``.
+
 Fault-injection sites (:mod:`repro.faults`): ``store-read`` bit-rots a
 payload before the checksum verifies it, ``store-write`` fails a write
-(swallowed: the artifact is simply not cached), ``store-lock`` delays or
-fails lock acquisition.
+(swallowed: the artifact is simply not cached; key ``publish:<ns>``
+consults between the temp write and the rename -- the crash-recovery
+harness kills a writer there), ``store-lock`` delays or fails lock
+acquisition, ``store-scrub`` fails individual scrub checks (absorbed and
+counted, the pass continues).
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
 import tempfile
@@ -54,6 +70,10 @@ from repro import faults
 MAGIC = b"repro-store:1\n"
 STORE_VERSION = 1
 SHARDS = 256
+#: corrupt blobs are moved here (evidence), never silently destroyed
+QUARANTINE_DIR = "quarantine"
+#: persisted scrub cursor (next shard index for the incremental pass)
+SCRUB_STATE = "scrub.json"
 
 #: store key namespaces (one per engine cache layer)
 NS_FRONTEND = "fe"
@@ -140,6 +160,14 @@ class StoreStats:
     write_failures: int = 0
     corruptions: int = 0
     evictions: int = 0
+    #: corrupt entries moved to ``quarantine/`` instead of destroyed
+    quarantined: int = 0
+    #: orphaned writer temp files removed by :meth:`ArtifactStore.scrub`
+    reaped: int = 0
+    #: completed scrub passes
+    scrubs: int = 0
+    #: ``_acquire_lock`` calls that found the lock held and had to wait
+    lock_waits: int = 0
     lock_timeouts: int = 0
     seconds: float = 0.0
 
@@ -151,6 +179,10 @@ class StoreStats:
             "write_failures": self.write_failures,
             "corruptions": self.corruptions,
             "evictions": self.evictions,
+            "quarantined": self.quarantined,
+            "reaped": self.reaped,
+            "scrubs": self.scrubs,
+            "lock_waits": self.lock_waits,
             "lock_timeouts": self.lock_timeouts,
             "seconds": round(self.seconds, 6),
         }
@@ -206,10 +238,7 @@ class ArtifactStore:
             blob = blob[:-1] + bytes([blob[-1] ^ 0xFF]) if blob else b"\xff"
         value = self._decode(blob)
         if value is _BAD:
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+            self._quarantine(Path(path))
             with self._lock:
                 self.stats.corruptions += 1
             self._count("misses", t0)
@@ -238,6 +267,11 @@ class ArtifactStore:
                     fh.write(digest)
                     fh.write(b"\n")
                     fh.write(payload)
+                # the kill window: a writer that dies here leaves an
+                # orphaned temp file for scrub() to reap
+                faults.check(
+                    faults.SITE_STORE_WRITE, f"publish:{namespace}"
+                )
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -292,6 +326,36 @@ class ArtifactStore:
                 pass
         return total
 
+    def quarantine_dir(self) -> Path:
+        return self.root / QUARANTINE_DIR
+
+    def quarantined_entries(self) -> List[str]:
+        """Names of the corrupt blobs currently held as evidence."""
+        qdir = self.quarantine_dir()
+        if not qdir.is_dir():
+            return []
+        return sorted(p.name for p in qdir.glob("*.blob"))
+
+    def _quarantine(self, path: Path) -> bool:
+        """Move a corrupt blob into ``quarantine/`` -- vacating its
+        content address (the next lookup misses and recomputes) while
+        preserving the bytes for a post-mortem.  Falls back to a plain
+        unlink if the move itself fails; either way the address is
+        vacated."""
+        qdir = self.quarantine_dir()
+        try:
+            qdir.mkdir(exist_ok=True)
+            os.replace(path, qdir / path.name)
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                return False
+            return True
+        with self._lock:
+            self.stats.quarantined += 1
+        return True
+
     def summary(self) -> Dict:
         """Stats for the CLI: layout plus this handle's counters."""
         shards = [
@@ -304,13 +368,20 @@ class ArtifactStore:
             "entries": self.entry_count(),
             "bytes": self.size_bytes(),
             "shards_used": len(shards),
+            "quarantined_entries": len(self.quarantined_entries()),
             "counters": self.stats.to_dict(),
         }
 
     def _acquire_lock(self) -> Path:
-        """Advisory lock for gc/verify (entry I/O is lock-free)."""
+        """Advisory lock for gc/verify/scrub (entry I/O is lock-free).
+
+        Contention is observable: an acquisition that finds the lock
+        held counts one ``lock_waits`` (however long it then waits), and
+        giving up counts one ``lock_timeouts``.
+        """
         lock = self.root / ".lock"
         deadline = time.monotonic() + self.lock_timeout
+        waited = False
         while True:
             faults.check(faults.SITE_STORE_LOCK, None)
             try:
@@ -319,6 +390,10 @@ class ArtifactStore:
                 os.close(fd)
                 return lock
             except FileExistsError:
+                if not waited:
+                    waited = True
+                    with self._lock:
+                        self.stats.lock_waits += 1
                 try:
                     age = time.time() - lock.stat().st_mtime
                 except OSError:
@@ -406,6 +481,120 @@ class ArtifactStore:
                 "corrupt": len(corrupt),
                 "removed": len(corrupt) if remove else 0,
                 "corrupt_entries": corrupt,
+            }
+        finally:
+            try:
+                lock.unlink()
+            except OSError:
+                pass
+
+    def scrub(
+        self,
+        max_entries: Optional[int] = None,
+        orphan_age_seconds: float = 60.0,
+        resume: bool = True,
+    ) -> Dict:
+        """Self-healing maintenance pass: re-verify checksums, quarantine
+        corruption, reap orphaned writer temps.
+
+        The pass walks the 256 shards starting from a cursor persisted
+        in ``scrub.json``; with ``max_entries`` set it stops at the
+        first shard boundary past that many re-verified entries and
+        saves the cursor, so repeated bounded calls cover the whole
+        store incrementally.  ``resume=False`` starts from shard ``00``
+        regardless.
+
+        Corrupt entries move to ``quarantine/`` (see
+        :meth:`_quarantine`); repair is recompute-on-next-miss -- the
+        vacated address misses, the engine recomputes and re-puts.
+        Temp files older than ``orphan_age_seconds`` are reaped as
+        debris of killed writers; younger ones are presumed live and
+        left alone (never treat another process's in-flight write as
+        garbage).  A failure checking one entry (I/O error, injected
+        ``store-scrub`` fault) is counted and the pass continues.
+        """
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive or None")
+        lock = self._acquire_lock()
+        try:
+            state_path = self.root / SCRUB_STATE
+            start = 0
+            if resume:
+                try:
+                    state = json.loads(state_path.read_text())
+                    start = int(state.get("next_shard", 0)) % SHARDS
+                except (OSError, ValueError):
+                    start = 0
+            checked = quarantined = reaped = errors = 0
+            scanned = 0
+            now = time.time()
+            next_shard = start
+            for off in range(SHARDS):
+                idx = (start + off) % SHARDS
+                shard = self.root / format(idx, "02x")
+                scanned += 1
+                next_shard = (idx + 1) % SHARDS
+                if shard.is_dir():
+                    for tmp in sorted(shard.glob("*.tmp")):
+                        try:
+                            age = now - tmp.stat().st_mtime
+                        except OSError:
+                            continue
+                        if age >= orphan_age_seconds:
+                            try:
+                                tmp.unlink()
+                            except OSError:
+                                continue
+                            reaped += 1
+                    for blob in sorted(shard.glob("*.blob")):
+                        checked += 1
+                        try:
+                            faults.check(
+                                faults.SITE_STORE_SCRUB, blob.name[:2]
+                            )
+                            data = blob.read_bytes()
+                        except OSError:
+                            continue
+                        except Exception:
+                            errors += 1
+                            continue
+                        if self._decode(data) is _BAD:
+                            if self._quarantine(blob):
+                                quarantined += 1
+                if max_entries is not None and checked >= max_entries \
+                        and off + 1 < SHARDS:
+                    break
+            else:
+                next_shard = start  # full cycle: resume where we began
+            # killed writers can also strand metadata temps at the root
+            for pattern in ("store.json.tmp*", "scrub.json.tmp*"):
+                for tmp in sorted(self.root.glob(pattern)):
+                    try:
+                        if now - tmp.stat().st_mtime >= orphan_age_seconds:
+                            tmp.unlink()
+                            reaped += 1
+                    except OSError:
+                        continue
+            try:
+                tmp_state = state_path.with_suffix(".json.tmp%d" % os.getpid())
+                tmp_state.write_text(
+                    json.dumps({"next_shard": next_shard}) + "\n"
+                )
+                os.replace(tmp_state, state_path)
+            except OSError:
+                pass  # cursor is an optimisation, not a correctness need
+            with self._lock:
+                self.stats.corruptions += quarantined
+                self.stats.reaped += reaped
+                self.stats.scrubs += 1
+            return {
+                "checked": checked,
+                "quarantined": quarantined,
+                "reaped": reaped,
+                "errors": errors,
+                "start_shard": start,
+                "shards_scanned": scanned,
+                "next_shard": next_shard,
             }
         finally:
             try:

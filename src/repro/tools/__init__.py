@@ -1,4 +1,5 @@
-"""Diagnostic reports: allocation tables, call-graph DOT, disassembly."""
+"""Diagnostic reports: allocation tables, call-graph DOT, disassembly,
+service/store health counters."""
 
 from repro.tools.reports import (
     allocation_report,
@@ -7,6 +8,8 @@ from repro.tools.reports import (
     disassemble,
     interference_summary,
     program_report,
+    service_report,
+    store_report,
     tune_report,
 )
 
@@ -17,5 +20,7 @@ __all__ = [
     "disassemble",
     "interference_summary",
     "program_report",
+    "service_report",
+    "store_report",
     "tune_report",
 ]

@@ -29,6 +29,7 @@ as a gate::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 import tempfile
 from pathlib import Path
@@ -41,6 +42,12 @@ from repro.engine.session import Compiler
 from repro.pipeline.driver import _reference_compile_program
 from repro.pipeline.options import PAPER_CONFIGS
 from repro.pipeline.profile import attach_profile, block_profile_of
+from repro.service import (
+    BreakerPolicy,
+    CompileService,
+    RetryPolicy,
+    ServiceOverloaded,
+)
 from repro.store.store import ArtifactStore, StoreLockTimeout
 
 #: the acceptance stages: one injected failure in each must be survived
@@ -290,6 +297,250 @@ def run_store_chaos(seed: int, config: str,
     return violations
 
 
+def run_service_chaos(seed: int, config: str,
+                      names: Optional[List[str]] = None,
+                      verbose: bool = True) -> List[str]:
+    """Chaos sweep over the compile service's resilience layer.
+
+    Four phases, each against fresh :class:`CompileService` instances:
+
+    1. **fault-free identity** -- with no faults installed, every
+       response must be bit-identical to a reference compile with the
+       breaker closed, nothing shed, nothing degraded (the resilience
+       layer is free on the healthy path);
+    2. **transient dispatch faults** -- ``service-deadline`` raises on
+       the first dispatch attempts; bounded retry must absorb them and
+       still return bit-identical programs;
+    3. **admission shedding** -- ``service-queue`` raises for a few
+       admissions; exactly those requests fail with the *typed*
+       :class:`ServiceOverloaded` (never an unhandled crash) and the
+       rest compile normally;
+    4. **breaker + degraded serving** -- persistent dispatch failure
+       trips the per-fingerprint breaker; while open, requests are
+       served *degraded* through the resilient fallback engine and must
+       still be bit-identical (fault-free resilient builds are); after
+       ``reset_timeout`` a half-open probe on the now-healthy path
+       closes the breaker again.
+    """
+    options = PAPER_CONFIGS[config]
+    benches = load_benchmarks()
+    selected = list(names) if names else list(benches)
+    violations: List[str] = []
+    refs = {
+        name: _reference_compile_program(benches[name].source, options)
+        for name in selected
+    }
+
+    def check_identical(phase: str, name: str, result) -> None:
+        if _snapshot(result.program.executable) != \
+                _snapshot(refs[name].executable):
+            violations.append(
+                f"{phase}: {name} response is not bit-identical to the "
+                "reference build"
+            )
+
+    # phase 1: fault-free -- identity, breaker closed, nothing shed
+    async def fault_free():
+        svc = CompileService(options)
+        results = await asyncio.gather(
+            *(svc.compile(benches[n].source) for n in selected)
+        )
+        await svc.join()
+        return svc, results
+
+    try:
+        svc, results = asyncio.run(fault_free())
+        for name, res in zip(selected, results):
+            check_identical("service fault-free", name, res)
+            if res.degraded:
+                violations.append(
+                    f"service fault-free: {name} served degraded"
+                )
+        s = svc.stats
+        if s.shed or s.degraded or s.retries or s.breaker_trips \
+                or svc.breaker_states():
+            violations.append(
+                f"service fault-free: resilience machinery engaged on a "
+                f"healthy path ({s.to_dict()})"
+            )
+        if verbose:
+            print(f"svc-clean    compiled={s.compiled} "
+                  f"batches={s.batches} ok={not violations}")
+    except Exception as exc:
+        violations.append(
+            f"service fault-free phase: unhandled exception {exc!r}"
+        )
+
+    # phase 2: transient dispatch faults absorbed by bounded retry
+    retry_plan = faults.FaultPlan(specs=[
+        faults.FaultSpec(site=faults.SITE_SERVICE_DEADLINE, kind="raise",
+                         count=2),
+    ])
+
+    async def retried():
+        svc = CompileService(
+            options,
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.005,
+                              seed=seed),
+        )
+        with faults.active(retry_plan):
+            results = await asyncio.gather(
+                *(svc.compile(benches[n].source) for n in selected)
+            )
+            await svc.join()
+        return svc, results
+
+    try:
+        svc, results = asyncio.run(retried())
+        for name, res in zip(selected, results):
+            check_identical("service retry", name, res)
+        fired = len(retry_plan.fired)
+        if not fired:
+            violations.append(
+                "service retry phase: no dispatch fault fired "
+                "(site unwired?)"
+            )
+        if svc.stats.retries < fired:
+            violations.append(
+                f"service retry phase: {fired} faults fired but only "
+                f"{svc.stats.retries} retries recorded"
+            )
+        if svc.stats.failed:
+            violations.append(
+                f"service retry phase: {svc.stats.failed} requests "
+                "failed despite retry budget"
+            )
+        if verbose:
+            print(f"svc-retry    fired={fired} "
+                  f"retries={svc.stats.retries} "
+                  f"failed={svc.stats.failed}")
+    except Exception as exc:
+        violations.append(
+            f"service retry phase: unhandled exception {exc!r}"
+        )
+
+    # phase 3: admission control sheds with the typed error
+    shed_count = min(2, max(1, len(selected) - 1))
+    queue_plan = faults.FaultPlan(specs=[
+        faults.FaultSpec(site=faults.SITE_SERVICE_QUEUE, kind="raise",
+                         count=shed_count),
+    ])
+
+    async def shedding():
+        svc = CompileService(options)
+        with faults.active(queue_plan):
+            results = await asyncio.gather(
+                *(svc.compile(benches[n].source) for n in selected),
+                return_exceptions=True,
+            )
+            await svc.join()
+        return svc, results
+
+    try:
+        svc, results = asyncio.run(shedding())
+        shed = sum(
+            1 for r in results if isinstance(r, ServiceOverloaded)
+        )
+        other = [
+            r for r in results
+            if isinstance(r, BaseException)
+            and not isinstance(r, ServiceOverloaded)
+        ]
+        if other:
+            violations.append(
+                f"service shed phase: non-typed failures {other!r}"
+            )
+        if shed != len(queue_plan.fired):
+            violations.append(
+                f"service shed phase: {len(queue_plan.fired)} queue "
+                f"faults fired but {shed} requests shed"
+            )
+        if svc.stats.shed != shed:
+            violations.append(
+                f"service shed phase: stats.shed={svc.stats.shed} "
+                f"disagrees with {shed} ServiceOverloaded responses"
+            )
+        for name, res in zip(selected, results):
+            if not isinstance(res, BaseException):
+                check_identical("service shed", name, res)
+        if verbose:
+            print(f"svc-shed     shed={shed} "
+                  f"served={len(results) - shed}")
+    except Exception as exc:
+        violations.append(
+            f"service shed phase: unhandled exception {exc!r}"
+        )
+
+    # phase 4: breaker trips -> degraded serving -> probe closes it
+    breaker_name = selected[0]
+    breaker_source = benches[breaker_name].source
+    trip_plan = faults.FaultPlan(specs=[
+        faults.FaultSpec(site=faults.SITE_SERVICE_DEADLINE, kind="raise",
+                         count=2),
+    ])
+
+    async def breaker():
+        svc = CompileService(
+            options,
+            retry=None,
+            breaker=BreakerPolicy(failure_threshold=2,
+                                  reset_timeout=0.2),
+        )
+        with faults.active(trip_plan):
+            failures = 0
+            for _ in range(2):
+                try:
+                    await svc.compile(breaker_source)
+                except faults.InjectedFault:
+                    failures += 1
+            degraded = await svc.compile(breaker_source)
+            await asyncio.sleep(0.25)  # past reset_timeout: probe opens
+            probed = await svc.compile(breaker_source)
+            await svc.join()
+        return svc, failures, degraded, probed
+
+    try:
+        svc, failures, degraded, probed = asyncio.run(breaker())
+        if failures != 2:
+            violations.append(
+                f"service breaker phase: expected 2 primary failures, "
+                f"saw {failures}"
+            )
+        if not svc.stats.breaker_trips:
+            violations.append(
+                "service breaker phase: breaker never tripped"
+            )
+        if not degraded.degraded:
+            violations.append(
+                "service breaker phase: open breaker did not serve "
+                "degraded"
+            )
+        check_identical("service breaker", breaker_name, degraded)
+        if probed.degraded:
+            violations.append(
+                "service breaker phase: healthy half-open probe still "
+                "served degraded"
+            )
+        check_identical("service breaker", breaker_name, probed)
+        if svc.breaker_states():
+            violations.append(
+                f"service breaker phase: breaker still "
+                f"{svc.breaker_states()} after a successful probe"
+            )
+        if verbose:
+            print(f"svc-breaker  trips={svc.stats.breaker_trips} "
+                  f"degraded={svc.stats.degraded} "
+                  f"recovered={not probed.degraded}")
+    except Exception as exc:
+        violations.append(
+            f"service breaker phase: unhandled exception {exc!r}"
+        )
+
+    if verbose:
+        print(f"service total: {len(violations)} violations")
+    return violations
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="run the benchmark suite under seeded fault injection"
@@ -302,9 +553,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--store", action="store_true",
                         help="run the artifact-store chaos phases instead "
                              "of the toolchain sweep")
+    parser.add_argument("--service", action="store_true",
+                        help="run the compile-service resilience phases "
+                             "instead of the toolchain sweep")
     args = parser.parse_args(argv)
     if args.store:
         violations = run_store_chaos(args.seed, args.config, args.names)
+    elif args.service:
+        violations = run_service_chaos(args.seed, args.config, args.names)
     else:
         violations = run_chaos(args.seed, args.config, args.names)
     for v in violations:

@@ -231,6 +231,59 @@ def suite_fault_summary(results, engine_stats=None) -> str:
     return "\n".join(lines)
 
 
+def store_report(store) -> str:
+    """One :class:`~repro.store.store.ArtifactStore` handle's health
+    counters: traffic, the self-healing loop (corruption detection,
+    quarantine, orphan reaping) and lock contention."""
+    st = store.stats
+    lookups = st.hits + st.misses
+    rate = st.hits / lookups if lookups else 0.0
+    lines = [
+        f"store: {st.hits} hits / {st.misses} misses ({rate:.1%}), "
+        f"{st.writes} writes ({st.write_failures} failed), "
+        f"{st.evictions} evicted",
+        f"  healing: {st.corruptions} corruptions detected, "
+        f"{st.quarantined} quarantined, {st.reaped} orphan temps "
+        f"reaped, {st.scrubs} scrub passes",
+        f"  locking: {st.lock_waits} waits, "
+        f"{st.lock_timeouts} timeouts",
+    ]
+    return "\n".join(lines)
+
+
+def service_report(service) -> str:
+    """One :class:`~repro.service.CompileService`'s operating picture:
+    request traffic, the resilience counters (retries, sheds, expired
+    deadlines, breaker trips, degraded serves) and any breakers
+    currently non-closed, plus the store report when a persistent store
+    is attached."""
+    s = service.stats
+    lines = [
+        f"service: {s.requests} requests "
+        f"({s.deduped} deduped, {s.batches} batches)",
+        f"  outcomes: {s.compiled} compiled, {s.failed} failed, "
+        f"{s.degraded} degraded, {s.shed} shed",
+        f"  deadlines: {s.deadline_expired} expired, "
+        f"{s.cancelled} cancelled; retries: {s.retries}",
+    ]
+    open_states = service.breaker_states()
+    if open_states:
+        shown = ", ".join(
+            f"{fp[:12]}={state}"
+            for fp, state in sorted(open_states.items())
+        )
+        lines.append(
+            f"  breakers: {s.breaker_trips} trips; non-closed: {shown}"
+        )
+    else:
+        lines.append(f"  breakers: {s.breaker_trips} trips; all closed")
+    if service.store is not None:
+        lines.append(
+            "  " + store_report(service.store).replace("\n", "\n  ")
+        )
+    return "\n".join(lines)
+
+
 def jit3_report(stats_or_info) -> str:
     """The tier-3 trace JIT's translation decisions for one run: trace
     shape, cross-procedure inline/link counts, specialization guards,

@@ -1,0 +1,412 @@
+"""The service's resilience layer: deadlines, cooperative cancellation,
+bounded retry, circuit breaking, admission control, graceful drain."""
+
+import asyncio
+
+import pytest
+
+from repro import faults
+from repro.engine.core import BatchCancelled
+from repro.frontend.errors import OptionsError
+from repro.pipeline.options import O2
+from repro.service import (
+    BreakerPolicy,
+    CompileService,
+    DeadlineExceeded,
+    RetryPolicy,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+)
+
+SRC = """
+func leaf(a) {{ return a + 3; }}
+func main() {{ print leaf({n}) * 2; return 0; }}
+"""
+
+
+def go(coro):
+    return asyncio.run(coro)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def advance(self, seconds: float):
+        self.t += seconds
+
+    def __call__(self) -> float:
+        return self.t
+
+
+# -- policies ----------------------------------------------------------------
+
+def test_retry_policy_backoff_is_deterministic_and_grows():
+    p = RetryPolicy(seed=7)
+    assert p.backoff(0, "k") == p.backoff(0, "k")
+    assert p.backoff(0, "k") != p.backoff(0, "other")
+    assert p.backoff(2, "k") > p.backoff(0, "k")
+    assert RetryPolicy(jitter=0.0).backoff(1, "k") == pytest.approx(0.04)
+
+
+def test_retry_policy_classifies_transience():
+    p = RetryPolicy()
+    assert p.retryable(RuntimeError("pool died"))
+    assert not p.retryable(OptionsError("no main"))       # deterministic
+    assert not p.retryable(BatchCancelled())              # nobody waits
+    assert not p.retryable(ServiceError("typed rejection"))
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        BreakerPolicy(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CompileService(O2, max_queue=0)
+
+
+# -- deadlines and cooperative cancellation ----------------------------------
+
+def test_expired_deadline_cancels_before_dispatch():
+    async def scenario():
+        svc = CompileService(O2)
+        with pytest.raises(DeadlineExceeded):
+            await svc.compile(SRC.format(n=1), deadline=0.0)
+        await svc.join()
+        return svc
+
+    svc = go(scenario())
+    assert svc.stats.deadline_expired == 1
+    assert svc.stats.cancelled == 1     # dropped pre-dispatch
+    assert svc.stats.compiled == 0
+    assert not svc.engine.stats.records  # the engine never ran
+    assert not svc._inflight
+
+
+def test_deadline_exceeded_while_dispatch_hangs():
+    plan = faults.FaultPlan(specs=[
+        faults.FaultSpec(site=faults.SITE_SERVICE_DEADLINE, kind="hang",
+                         hang_seconds=0.3, count=1),
+    ])
+
+    async def scenario():
+        svc = CompileService(O2, retry=None)
+        with faults.active(plan):
+            with pytest.raises(DeadlineExceeded):
+                await svc.compile(SRC.format(n=1), deadline=0.05)
+            await svc.join()
+        return svc
+
+    svc = go(scenario())
+    assert len(plan.fired) == 1
+    assert svc.stats.deadline_expired == 1
+
+
+def test_dedup_waiter_without_deadline_keeps_request_alive():
+    plan = faults.FaultPlan(specs=[
+        faults.FaultSpec(site=faults.SITE_SERVICE_DEADLINE, kind="hang",
+                         hang_seconds=0.2, count=1),
+    ])
+
+    async def scenario():
+        svc = CompileService(O2, retry=None, batch_window=0.02)
+        src = SRC.format(n=2)
+        with faults.active(plan):
+            impatient = asyncio.ensure_future(
+                svc.compile(src, deadline=0.05)
+            )
+            patient = asyncio.ensure_future(svc.compile(src))
+            results = await asyncio.gather(
+                impatient, patient, return_exceptions=True
+            )
+            await svc.join()
+        return svc, results
+
+    svc, (impatient, patient) = go(scenario())
+    assert isinstance(impatient, DeadlineExceeded)
+    assert patient.program.run().output == [10]
+    assert patient.deduped
+    assert svc.stats.compiled == 1
+
+
+def test_default_deadline_applies():
+    async def scenario():
+        svc = CompileService(O2, default_deadline=0.0)
+        with pytest.raises(DeadlineExceeded):
+            await svc.compile(SRC.format(n=1))
+        await svc.join()
+        return svc
+
+    assert go(scenario()).stats.deadline_expired == 1
+
+
+# -- bounded retry -----------------------------------------------------------
+
+def test_transient_dispatch_fault_is_retried():
+    plan = faults.FaultPlan(specs=[
+        faults.FaultSpec(site=faults.SITE_SERVICE_DEADLINE, kind="raise",
+                         count=1),
+    ])
+
+    async def scenario():
+        svc = CompileService(
+            O2, retry=RetryPolicy(max_attempts=2, backoff_base=0.001)
+        )
+        with faults.active(plan):
+            result = await svc.compile(SRC.format(n=1))
+            await svc.join()
+        return svc, result
+
+    svc, result = go(scenario())
+    assert result.program.run().output == [8]
+    assert svc.stats.retries == 1
+    assert svc.stats.failed == 0
+    assert svc.stats.compiled == 1
+
+
+def test_retry_budget_exhaustion_surfaces_the_fault():
+    plan = faults.FaultPlan(specs=[
+        faults.FaultSpec(site=faults.SITE_SERVICE_DEADLINE, kind="raise",
+                         count=None),
+    ])
+
+    async def scenario():
+        svc = CompileService(
+            O2, retry=RetryPolicy(max_attempts=2, backoff_base=0.001),
+            breaker=None,
+        )
+        with faults.active(plan):
+            with pytest.raises(faults.InjectedFault):
+                await svc.compile(SRC.format(n=1))
+            await svc.join()
+        return svc
+
+    svc = go(scenario())
+    assert svc.stats.retries == 1
+    assert svc.stats.failed == 1
+    assert not svc._inflight
+
+
+def test_deterministic_compile_errors_never_retry():
+    async def scenario():
+        svc = CompileService(O2)
+        with pytest.raises(OptionsError):
+            await svc.compile("func notmain() { return 1; }")
+        await svc.join()
+        return svc
+
+    svc = go(scenario())
+    assert svc.stats.retries == 0
+    assert svc.stats.failed == 1
+
+
+# -- circuit breaker and degraded serving ------------------------------------
+
+def _failing_plan(count=None):
+    return faults.FaultPlan(specs=[
+        faults.FaultSpec(site=faults.SITE_SERVICE_DEADLINE, kind="raise",
+                         count=count),
+    ])
+
+
+def test_breaker_trips_serves_degraded_and_recovers():
+    clock = FakeClock()
+    src = SRC.format(n=4)
+
+    async def scenario():
+        svc = CompileService(
+            O2, retry=None,
+            breaker=BreakerPolicy(failure_threshold=2, reset_timeout=10.0),
+            clock=clock,
+        )
+        with faults.active(_failing_plan()):
+            for _ in range(2):
+                with pytest.raises(faults.InjectedFault):
+                    await svc.compile(src)
+            assert svc.breaker_states() == {
+                next(iter(svc.breaker_states())): "open"
+            }
+            degraded = await svc.compile(src)  # open: fallback serves
+        clock.advance(10.0)                    # past reset: probe
+        probed = await svc.compile(src)        # faults gone: heals
+        await svc.join()
+        return svc, degraded, probed
+
+    svc, degraded, probed = go(scenario())
+    assert svc.stats.breaker_trips == 1
+    assert degraded.degraded
+    assert degraded.program.run().output == [14]
+    assert svc.stats.degraded == 1
+    assert not probed.degraded
+    assert probed.program.run().output == [14]
+    assert svc.breaker_states() == {}          # closed again
+
+
+def test_failed_halfopen_probe_reopens_the_breaker():
+    clock = FakeClock()
+    src = SRC.format(n=5)
+
+    async def scenario():
+        svc = CompileService(
+            O2, retry=None,
+            breaker=BreakerPolicy(failure_threshold=1, reset_timeout=5.0),
+            clock=clock,
+        )
+        with faults.active(_failing_plan()):
+            with pytest.raises(faults.InjectedFault):
+                await svc.compile(src)         # trips
+            clock.advance(5.0)
+            with pytest.raises(faults.InjectedFault):
+                await svc.compile(src)         # probe fails: reopens
+            again = await svc.compile(src)     # open again: degraded
+            await svc.join()
+        return svc, again
+
+    svc, again = go(scenario())
+    assert svc.stats.breaker_trips == 2
+    assert again.degraded
+    assert list(svc.breaker_states().values()) == ["open"]
+
+
+def test_degraded_results_match_the_primary_path():
+    from repro.tools.warmstart import executable_digest
+
+    clock = FakeClock()
+    src = SRC.format(n=6)
+
+    async def scenario():
+        svc = CompileService(
+            O2, retry=None,
+            breaker=BreakerPolicy(failure_threshold=1, reset_timeout=99.0),
+            clock=clock,
+        )
+        with faults.active(_failing_plan(count=1)):
+            with pytest.raises(faults.InjectedFault):
+                await svc.compile(src)
+        degraded = await svc.compile(src)
+        await svc.join()
+        return degraded
+
+    degraded = go(scenario())
+    reference = go(CompileService(O2).compile(SRC.format(n=6)))
+    assert degraded.degraded and not reference.degraded
+    assert executable_digest(degraded.program.executable) == \
+        executable_digest(reference.program.executable)
+
+
+# -- admission control -------------------------------------------------------
+
+def test_queue_high_water_mark_sheds_typed():
+    async def scenario():
+        svc = CompileService(O2, max_queue=1, batch_window=0.05)
+        results = await asyncio.gather(
+            *(svc.compile(SRC.format(n=n)) for n in range(3)),
+            return_exceptions=True,
+        )
+        await svc.join()
+        return svc, results
+
+    svc, results = go(scenario())
+    shed = [r for r in results if isinstance(r, ServiceOverloaded)]
+    served = [r for r in results if not isinstance(r, BaseException)]
+    assert len(shed) == 2 and len(served) == 1
+    assert svc.stats.shed == 2
+    assert served[0].program.run().output is not None
+
+
+def test_injected_queue_pressure_sheds_typed():
+    plan = faults.FaultPlan(specs=[
+        faults.FaultSpec(site=faults.SITE_SERVICE_QUEUE, kind="raise",
+                         count=1),
+    ])
+
+    async def scenario():
+        svc = CompileService(O2)
+        with faults.active(plan):
+            with pytest.raises(ServiceOverloaded):
+                await svc.compile(SRC.format(n=1))
+        result = await svc.compile(SRC.format(n=1))
+        await svc.join()
+        return svc, result
+
+    svc, result = go(scenario())
+    assert svc.stats.shed == 1
+    assert result.program.run().output == [8]
+
+
+# -- graceful drain ----------------------------------------------------------
+
+def test_drain_stops_admission_but_flushes_inflight():
+    async def scenario():
+        svc = CompileService(O2, batch_window=0.02)
+        inflight = asyncio.ensure_future(svc.compile(SRC.format(n=1)))
+        await asyncio.sleep(0)            # let it enqueue
+        await svc.drain()
+        assert svc.closed
+        with pytest.raises(ServiceClosed):
+            await svc.compile(SRC.format(n=2))
+        return svc, await inflight
+
+    svc, result = go(scenario())
+    assert result.program.run().output == [8]
+    assert svc.stats.compiled == 1
+
+
+def test_drain_deadline_fails_stragglers_instead_of_hanging():
+    plan = faults.FaultPlan(specs=[
+        faults.FaultSpec(site=faults.SITE_SERVICE_DEADLINE, kind="hang",
+                         hang_seconds=0.4, count=1),
+    ])
+
+    async def scenario():
+        svc = CompileService(O2, retry=None, batch_window=0.005)
+        with faults.active(plan):
+            straggler = asyncio.ensure_future(
+                svc.compile(SRC.format(n=1))
+            )
+            await asyncio.sleep(0.05)     # group dispatched, now hung
+            await svc.join(drain=True, deadline=0.05)
+            result = await asyncio.gather(
+                straggler, return_exceptions=True
+            )
+            await svc.join()              # executor work still lands
+        return svc, result[0]
+
+    svc, outcome = go(scenario())
+    assert isinstance(outcome, DeadlineExceeded)
+    assert svc.stats.deadline_expired == 1
+    assert not svc._inflight
+
+
+# -- single-flight leak fix --------------------------------------------------
+
+def test_group_failure_resolves_every_waiter(monkeypatch):
+    """A crash anywhere in result distribution (here: the store-counter
+    snapshot) must fail the waiters, not leave them parked forever on
+    an abandoned in-flight future."""
+
+    async def scenario():
+        svc = CompileService(O2, retry=None, batch_window=0.02)
+
+        def boom():
+            raise RuntimeError("snapshot exploded")
+
+        monkeypatch.setattr(svc, "store_counters", boom)
+        src = SRC.format(n=3)
+        results = await asyncio.wait_for(
+            asyncio.gather(
+                svc.compile(src), svc.compile(src),
+                return_exceptions=True,
+            ),
+            timeout=10.0,
+        )
+        await svc.join()
+        return svc, results
+
+    svc, results = go(scenario())
+    assert all(isinstance(r, RuntimeError) for r in results)
+    assert svc.stats.failed == 1          # one flight served both
+    assert svc.stats.deduped == 1
+    assert not svc._inflight

@@ -1,0 +1,271 @@
+"""Self-healing store maintenance: scrub, quarantine, orphan reaping,
+and the maintenance/writer race guarantees."""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.store.store import ArtifactStore, StoreLockTimeout
+
+
+def _fill(store: ArtifactStore, n: int, ns: str = "plan"):
+    """Put ``n`` distinct entries; returns their (ns, key) pairs."""
+    keys = []
+    for i in range(n):
+        key = ("entry", i)
+        assert store.put(ns, key, {"value": i})
+        keys.append((ns, key))
+    return keys
+
+
+def _some_blob(store: ArtifactStore):
+    blobs = list(store._entries())
+    assert blobs
+    return blobs[0]
+
+
+def test_scrub_clean_store_is_a_noop(tmp_path):
+    store = ArtifactStore(tmp_path)
+    keys = _fill(store, 5)
+    report = store.scrub()
+    assert report["checked"] == 5
+    assert report["quarantined"] == 0
+    assert report["reaped"] == 0
+    assert report["errors"] == 0
+    assert store.stats.scrubs == 1
+    for ns, key in keys:
+        assert store.get(ns, key) is not None
+
+
+def test_scrub_quarantines_corruption_and_repairs_on_next_miss(tmp_path):
+    store = ArtifactStore(tmp_path)
+    (ns, key), = _fill(store, 1)
+    blob = _some_blob(store)
+    blob.write_bytes(b"torn garbage")
+
+    report = store.scrub()
+    assert report["quarantined"] == 1
+    # evidence preserved, address vacated
+    assert not blob.exists()
+    assert store.quarantined_entries() == [blob.name]
+    assert (store.quarantine_dir() / blob.name).read_bytes() == \
+        b"torn garbage"
+    assert store.stats.quarantined == 1
+    assert store.stats.corruptions == 1
+    assert store.summary()["quarantined_entries"] == 1
+
+    # repair is recompute-on-next-miss: the vacated address misses,
+    # the client re-puts, and the store serves again
+    assert store.get(ns, key) is None
+    assert store.put(ns, key, {"value": 0})
+    assert store.get(ns, key) == {"value": 0}
+
+
+def test_get_quarantines_corrupt_entry(tmp_path):
+    store = ArtifactStore(tmp_path)
+    (ns, key), = _fill(store, 1)
+    blob = _some_blob(store)
+    data = blob.read_bytes()
+    blob.write_bytes(data[:-1] + bytes([data[-1] ^ 0xFF]))
+
+    assert store.get(ns, key) is None
+    assert store.stats.corruptions == 1
+    assert store.stats.quarantined == 1
+    assert store.quarantined_entries() == [blob.name]
+
+
+def test_scrub_reaps_old_orphans_but_spares_live_writers(tmp_path):
+    store = ArtifactStore(tmp_path)
+    _fill(store, 2)
+    shard = _some_blob(store).parent
+    orphan = shard / "tmpdead.tmp"
+    orphan.write_bytes(b"killed writer debris")
+    old = time.time() - 3600
+    os.utime(orphan, (old, old))
+    live = shard / "tmplive.tmp"
+    live.write_bytes(b"another process, mid-put")
+
+    report = store.scrub(orphan_age_seconds=60.0)
+    assert report["reaped"] == 1
+    assert not orphan.exists()
+    assert live.exists()      # young temp presumed in-flight: untouched
+    assert store.stats.reaped == 1
+
+
+def test_scrub_reaps_stranded_root_metadata_temps(tmp_path):
+    store = ArtifactStore(tmp_path)
+    _fill(store, 1)
+    stranded = tmp_path / "store.json.tmp12345"
+    stranded.write_text("{}")
+    old = time.time() - 3600
+    os.utime(stranded, (old, old))
+
+    report = store.scrub(orphan_age_seconds=60.0)
+    assert report["reaped"] == 1
+    assert not stranded.exists()
+
+
+def test_scrub_incremental_cursor_resumes_and_wraps(tmp_path):
+    store = ArtifactStore(tmp_path)
+    total = len(_fill(store, 8))
+
+    first = store.scrub(max_entries=1)
+    assert 0 < first["checked"] < total
+    assert first["shards_scanned"] < 256
+    state = json.loads((tmp_path / "scrub.json").read_text())
+    assert state["next_shard"] == first["next_shard"]
+
+    second = store.scrub(max_entries=1)
+    assert second["start_shard"] == first["next_shard"]
+
+    # bounded passes eventually cover every entry, then wrap
+    checked = first["checked"] + second["checked"]
+    for _ in range(300):
+        if checked >= total:
+            break
+        checked += store.scrub(max_entries=1)["checked"]
+    assert checked >= total
+
+    # an unbounded pass scans the full cycle and resumes where it began
+    full = store.scrub()
+    assert full["shards_scanned"] == 256
+    assert full["next_shard"] == full["start_shard"]
+
+    restart = store.scrub(max_entries=1, resume=False)
+    assert restart["start_shard"] == 0
+
+
+def test_scrub_rejects_nonpositive_budget(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with pytest.raises(ValueError):
+        store.scrub(max_entries=0)
+
+
+def test_scrub_counts_per_entry_faults_and_continues(tmp_path):
+    store = ArtifactStore(tmp_path)
+    _fill(store, 4)
+    plan = faults.FaultPlan(specs=[
+        faults.FaultSpec(site=faults.SITE_STORE_SCRUB, kind="raise",
+                         count=1),
+    ])
+    with faults.active(plan):
+        report = store.scrub()
+    assert len(plan.fired) == 1
+    assert report["errors"] == 1
+    assert report["quarantined"] == 0
+    # the faulted entry was skipped, not destroyed
+    assert store.entry_count() == 4
+
+
+def test_gc_never_touches_inflight_writer_temps(tmp_path):
+    """The gc/writer race (satellite): eviction works on published
+    ``*.blob`` entries only -- another process's in-flight temp file is
+    neither counted against the byte budget nor deleted."""
+    store = ArtifactStore(tmp_path)
+    _fill(store, 3)
+    shard = _some_blob(store).parent
+    inflight = shard / "tmpwriter.tmp"
+    inflight.write_bytes(b"x" * 4096)
+
+    before = store.size_bytes()
+    report = store.gc(max_bytes=0)
+    assert report["before_bytes"] == before   # temp bytes not counted
+    assert report["evicted"] == 3
+    assert inflight.exists()                  # temp never deleted
+    assert store.entry_count() == 0
+
+
+def test_gc_races_a_live_writer_hung_mid_publish(tmp_path):
+    """A real concurrent writer stalled inside the publish window (temp
+    written, rename pending) survives a full eviction pass and lands
+    its entry afterwards."""
+    store = ArtifactStore(tmp_path)
+    _fill(store, 2)
+    plan = faults.FaultPlan(specs=[
+        faults.FaultSpec(site=faults.SITE_STORE_WRITE, kind="hang",
+                         match="publish:code", hang_seconds=1.5, count=1),
+    ])
+    done = {}
+
+    def writer():
+        done["ok"] = store.put("code", ("raced",), {"big": "payload"})
+
+    with faults.active(plan):
+        t = threading.Thread(target=writer)
+        t.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            shards = lambda: [
+                p for p in tmp_path.glob("*/*.tmp") if p.is_file()
+            ]
+            while not shards() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            temps = shards()
+            assert temps, "writer never reached the publish window"
+            report = store.gc(max_bytes=0)
+            assert report["evicted"] == 2
+            assert all(p.exists() for p in temps)
+        finally:
+            t.join()
+    assert done["ok"] is True
+    assert store.get("code", ("raced",)) == {"big": "payload"}
+
+
+def test_verify_ignores_temps_and_quarantine(tmp_path):
+    store = ArtifactStore(tmp_path)
+    _fill(store, 2)
+    blob = _some_blob(store)
+    shard = blob.parent
+    (shard / "tmpx.tmp").write_bytes(b"junk that is not a blob")
+    blob.write_bytes(b"rot")
+    assert store.scrub()["quarantined"] == 1
+
+    report = store.verify(remove=False)
+    assert report["checked"] == 1             # quarantine not re-counted
+    assert report["corrupt"] == 0
+    assert store.quarantined_entries() == [blob.name]
+
+
+def test_lock_waits_and_timeouts_are_counted(tmp_path):
+    store = ArtifactStore(tmp_path, lock_timeout=0.1)
+    _fill(store, 1)
+    held = tmp_path / ".lock"
+    held.write_text(str(os.getpid()))
+    try:
+        with pytest.raises(StoreLockTimeout):
+            store.gc(max_bytes=0)
+    finally:
+        held.unlink()
+    assert store.stats.lock_waits == 1
+    assert store.stats.lock_timeouts == 1
+    assert store.summary()["counters"]["lock_waits"] == 1
+
+    # an uncontended acquisition waits for nothing
+    store.scrub()
+    assert store.stats.lock_waits == 1
+
+
+def test_scrub_cli(tmp_path, capsys):
+    from repro.store.cli import store_main
+
+    store = ArtifactStore(tmp_path)
+    _fill(store, 2)
+    blob = _some_blob(store)
+    blob.write_bytes(b"rot")
+
+    assert store_main(["scrub", str(tmp_path), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["checked"] == 2
+    assert report["quarantined"] == 1
+
+    assert store_main(["scrub", str(tmp_path)]) == 0
+    text = capsys.readouterr().out
+    assert "quarantined: 0" in text
+
+    assert store_main(["stats", str(tmp_path)]) == 0
+    text = capsys.readouterr().out
+    assert "quarantine: 1 entries" in text

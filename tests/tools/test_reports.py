@@ -1,5 +1,7 @@
 """Diagnostic-report tests."""
 
+import asyncio
+
 import pytest
 
 from repro.pipeline import compile_program, O2, O3_SW
@@ -10,6 +12,8 @@ from repro.tools import (
     disassemble,
     interference_summary,
     program_report,
+    service_report,
+    store_report,
 )
 
 SRC = """
@@ -71,3 +75,35 @@ def test_interference_summary(prog):
     text = interference_summary(prog.plan.plans["mid"])
     assert text.startswith("mid:")
     assert "ranges" in text
+
+
+def test_store_report_counters(tmp_path):
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(tmp_path)
+    store.put("plan", ("k",), {"v": 1})
+    assert store.get("plan", ("k",)) is not None
+    store.scrub()
+    text = store_report(store)
+    assert "1 hits" in text
+    assert "1 writes" in text
+    assert "1 scrub passes" in text
+    assert "0 quarantined" in text
+    assert "locking:" in text
+
+
+def test_service_report_counters(tmp_path):
+    from repro.service import CompileService
+
+    async def scenario():
+        svc = CompileService(O2, store_path=tmp_path)
+        await svc.compile(SRC)
+        await svc.join()
+        return svc
+
+    svc = asyncio.run(scenario())
+    text = service_report(svc)
+    assert "service: 1 requests" in text
+    assert "1 compiled" in text
+    assert "0 trips; all closed" in text
+    assert "store:" in text          # attached store rolls up too
